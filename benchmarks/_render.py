@@ -1,0 +1,62 @@
+"""Table/series rendering for the reproduction benches.
+
+Every bench prints the rows or series the paper reports (side by side
+with the paper's published values where they exist) and appends the same
+text to ``benchmarks/results/<bench>.txt`` so a full run leaves a
+browsable record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: list[str]) -> str:
+    """Print a bench's output block and persist it."""
+    text = "\n".join([f"=== {name} ==="] + lines) + "\n"
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    return text
+
+
+def table(headers: list[str], rows: list[list]) -> list[str]:
+    """Format rows as a fixed-width text table."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered))
+        if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return lines
+
+
+def series(label: str, values: list[float], every: int = 1) -> str:
+    shown = values[::every]
+    return f"{label}: " + " ".join(_cell(v) for v in shown)
+
+
+def cdf_summary(values: list[float], points=(0.25, 0.5, 0.75, 0.9)) -> str:
+    """Quartile summary standing in for a plotted CDF."""
+    if not values:
+        return "(empty)"
+    ordered = sorted(values)
+    parts = [f"n={len(ordered)}"]
+    for quantile in points:
+        index = min(len(ordered) - 1, int(quantile * len(ordered)))
+        parts.append(f"p{int(quantile * 100)}={_cell(ordered[index])}")
+    return " ".join(parts)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}" if abs(value) >= 10 else f"{value:.2f}"
+    return str(value)

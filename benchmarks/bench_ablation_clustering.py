@@ -1,0 +1,51 @@
+"""Ablation: what each clustering stage contributes (§5's refinement).
+
+The authors started with simhash-only clustering, then added the five
+top-level features, then the temporal merge heuristic.  The simulator's
+ground truth lets us score each variant: purity (no over-merging) and
+fragmentation (no over-splitting).  Expectation: features raise purity
+versus simhash-only; the merge step lowers fragmentation without
+hurting purity.
+"""
+
+from repro.analysis import WebpageClusterer, score_clustering
+
+from _render import emit, table
+
+
+def test_ablation_clustering_stages(benchmark, ec2):
+    dataset = ec2.dataset
+    log = ec2.scenario.simulation.log
+    variants = {
+        "simhash-only": WebpageClusterer(use_features=False, use_merge=False),
+        "features, no merge": WebpageClusterer(use_merge=False),
+        "features + merge (full)": WebpageClusterer(),
+    }
+
+    scores = benchmark.pedantic(
+        lambda: {
+            name: score_clustering(dataset, clusterer.cluster(dataset), log)
+            for name, clusterer in variants.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        [name, score.purity, score.fragmentation, score.clusters]
+        for name, score in scores.items()
+    ]
+    emit(
+        "ablation_clustering",
+        table(["Variant", "purity", "fragmentation", "#clusters"], rows),
+    )
+
+    full = scores["features + merge (full)"]
+    simhash_only = scores["simhash-only"]
+    no_merge = scores["features, no merge"]
+    # Top-level features must not hurt purity, and the full pipeline
+    # should be highly pure against ground truth.
+    assert full.purity >= simhash_only.purity - 0.02
+    assert full.purity > 0.9
+    # The merge step can only reduce (or keep) the cluster count.
+    assert full.clusters <= no_merge.clusters
+    assert full.fragmentation <= no_merge.fragmentation + 1e-9

@@ -1,0 +1,65 @@
+"""Ablation: alternative clustering goals (§5's closing remark).
+
+The paper notes the programmatic interface makes it easy to "cluster
+with other goals in mind, such as simply finding related content
+(dropping the server feature) or only using Analytics IDs".  This bench
+scores those variants against the simulator's ownership ground truth:
+Analytics-ID-only clustering finds *owners* (multiple sites of one GA
+account can merge — purity dips while fragmentation improves for
+GA-carrying sites), and dropping the server feature merges related
+content served by different stacks.
+"""
+
+from repro.analysis import WebpageClusterer, score_clustering
+
+from _render import emit, table
+
+
+def test_ablation_feature_goals(benchmark, ec2):
+    dataset = ec2.dataset
+    log = ec2.scenario.simulation.log
+    variants = {
+        "all five features": WebpageClusterer(),
+        "without server": WebpageClusterer(
+            feature_subset=("title", "template", "keywords", "analytics_id")
+        ),
+        "analytics-id only": WebpageClusterer(
+            feature_subset=("analytics_id",)
+        ),
+        "title only": WebpageClusterer(feature_subset=("title",)),
+    }
+
+    def sweep():
+        results = {}
+        for name, clusterer in variants.items():
+            clustering = clusterer.cluster(dataset)
+            results[name] = (
+                score_clustering(dataset, clustering, log),
+                clustering.stats,
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [name, score.purity, score.fragmentation,
+         stats.merged_clusters, stats.final_clusters]
+        for name, (score, stats) in results.items()
+    ]
+    emit(
+        "ablation_features",
+        table(["Goal", "purity", "fragmentation", "pre-clean", "final"],
+              rows),
+    )
+
+    full_score, full_stats = results["all five features"]
+    assert full_score.purity > 0.9
+    # Coarser level-1 keys can only merge, never split, so the
+    # *pre-cleaning* cluster count is monotone (cleaning is title-based
+    # and does not apply when the title is masked out).
+    assert results["without server"][1].merged_clusters <= \
+        full_stats.merged_clusters
+    assert results["analytics-id only"][1].merged_clusters <= \
+        results["without server"][1].merged_clusters
+    # Dropping features trades purity for recall of related content.
+    assert results["analytics-id only"][0].purity <= full_score.purity + 1e-9

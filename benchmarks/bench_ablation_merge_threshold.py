@@ -1,0 +1,49 @@
+"""Ablation: the merge heuristic's Hamming threshold (§5 uses 3 bits,
+citing Manku et al.'s near-duplicate threshold).
+
+Sweeping the threshold shows the trade-off: 0 disables merging entirely
+(maximal fragmentation), small values merge only true revisions, large
+values risk merging distinct pages that share an IP and a feature.
+"""
+
+from repro.analysis import WebpageClusterer, score_clustering
+
+from _render import emit, table
+
+
+def test_ablation_merge_threshold(benchmark, ec2):
+    dataset = ec2.dataset
+    log = ec2.scenario.simulation.log
+    thresholds = (0, 1, 3, 5, 8, 16)
+
+    def sweep():
+        results = {}
+        for threshold in thresholds:
+            clusterer = WebpageClusterer(merge_threshold=threshold)
+            clustering = clusterer.cluster(dataset)
+            results[threshold] = (
+                score_clustering(dataset, clustering, log),
+                clustering.stats,
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [threshold, score.purity, score.fragmentation,
+         stats.merged_clusters, stats.final_clusters]
+        for threshold, (score, stats) in results.items()
+    ]
+    emit(
+        "ablation_merge_threshold",
+        table(["threshold", "purity", "fragmentation", "merged", "final"],
+              rows),
+    )
+
+    # Cluster counts decrease monotonically with the threshold.
+    finals = [results[t][1].merged_clusters for t in thresholds]
+    assert all(a >= b for a, b in zip(finals, finals[1:]))
+    # The paper's threshold of 3 keeps purity essentially intact.
+    assert results[3][0].purity >= results[0][0].purity - 0.02
+    # Fragmentation at threshold 3 is no worse than with merging off.
+    assert results[3][0].fragmentation <= results[0][0].fragmentation

@@ -1,0 +1,83 @@
+"""§8.3 software census: servers, backends, templates, staleness.
+
+Paper (EC2): servers identified on 89.9% of available IPs — Apache
+55.2%, nginx 21.2%, Microsoft-IIS 12.2%, MochiWeb 4.4% (one PaaS);
+backends: PHP 52.6%, ASP.NET 29.0%, Phusion Passenger 8.1%; >40% of
+Apache on 2.2.*; 60% of PHP on 5.3.*; WordPress 71.1% of templates with
+>68% on vulnerable (<3.6) versions; seven of SERT's top-10 vulnerable
+servers in use.  Azure: Microsoft-IIS 89%, ASP.NET 94.2%.
+"""
+
+from repro.analysis import SoftwareCensus
+
+from _render import emit, table
+
+PAPER_EC2_FAMILIES = {"Apache": 55.2, "nginx": 21.2, "Microsoft-IIS": 12.2,
+                      "MochiWeb": 4.4}
+
+
+def test_census_software(benchmark, ec2, azure):
+    reports = benchmark.pedantic(
+        lambda: {
+            "EC2": SoftwareCensus(ec2.dataset).report(),
+            "Azure": SoftwareCensus(azure.dataset).report(),
+        },
+        rounds=1, iterations=1,
+    )
+
+    lines = []
+    rows = []
+    for cloud, report in reports.items():
+        for family, share in list(report.server_family_shares.items())[:6]:
+            paper = PAPER_EC2_FAMILIES.get(family, "") if cloud == "EC2" else (
+                89.0 if family == "Microsoft-IIS" else ""
+            )
+            rows.append([cloud, family, share, paper])
+    lines += table(["Cloud", "Server family", "measured %", "paper %"], rows)
+    ec2_report = reports["EC2"]
+    lines.append(
+        f"EC2 servers identified on {ec2_report.server_identified_share:.1f}% "
+        "of available IPs (paper 89.9%)"
+    )
+    lines.append("EC2 top server versions: " + ", ".join(
+        f"{name} ({count})" for name, count in ec2_report.top_servers(5)
+    ))
+    lines.append("EC2 backends: " + ", ".join(
+        f"{name} {share:.1f}%"
+        for name, share in list(ec2_report.backend_shares.items())[:4]
+    ))
+    lines.append("EC2 PHP versions: " + ", ".join(
+        f"{name} {share:.1f}%"
+        for name, share in list(ec2_report.php_version_shares.items())[:4]
+    ))
+    lines.append(
+        "EC2 templates: " + ", ".join(
+            f"{name} {share:.1f}%"
+            for name, share in list(ec2_report.template_shares.items())[:4]
+        )
+        + f"; vulnerable WordPress {ec2_report.wordpress_vulnerable_share:.0f}%"
+        " (paper >68%)"
+    )
+    lines.append("EC2 SERT-vulnerable servers in use: " + ", ".join(
+        f"{name} ({count} IPs)"
+        for name, count in ec2_report.vulnerable_server_ips.most_common(4)
+    ))
+    emit("census_software", lines)
+
+    shares = ec2_report.server_family_shares
+    assert shares["Apache"] > shares["nginx"] > shares["Microsoft-IIS"]
+    assert "MochiWeb" in shares              # the pinned PaaS provider
+    assert ec2_report.server_identified_share > 75.0
+    apache_22 = sum(
+        count for name, count in ec2_report.server_version_counts.items()
+        if name.startswith("Apache/2.2")
+    )
+    apache_24 = sum(
+        count for name, count in ec2_report.server_version_counts.items()
+        if name.startswith("Apache/2.4")
+    )
+    assert apache_22 > apache_24             # stale versions dominate
+    assert ec2_report.vulnerable_server_ips  # SERT list members in use
+    azure_report = reports["Azure"]
+    assert azure_report.server_family_shares["Microsoft-IIS"] > 60.0
+    assert azure_report.backend_shares.get("ASP.NET", 0.0) > 60.0

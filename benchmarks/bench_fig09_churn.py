@@ -1,0 +1,59 @@
+"""Figure 9 / §8.1 "IP status churn": per-round status-change rates.
+
+Paper: overall churn ≈ 3.0% of all IPs on both clouds; EC2 averages
+2.5% responsiveness / 1.0% availability / 0.1% cluster changes, Azure
+2.2% / 1.7% / 0.3%.  Relative to IPs responsive in either round the
+overall rate becomes 11.9% (EC2) / 12.2% (Azure).
+"""
+
+from repro.analysis import DynamicsAnalyzer
+
+from _render import emit, series, table
+
+PAPER = {
+    "EC2": (2.5, 1.0, 0.1, 3.0),
+    "Azure": (2.2, 1.7, 0.3, 3.0),
+}
+
+
+def test_fig09_churn(benchmark, ec2, ec2_clusters, azure, azure_clusters):
+    analyzers = {
+        "EC2": DynamicsAnalyzer(ec2.dataset, ec2_clusters),
+        "Azure": DynamicsAnalyzer(azure.dataset, azure_clusters),
+    }
+
+    rates = benchmark.pedantic(
+        lambda: {
+            name: (analyzer.churn_rates(), analyzer.churn_series())
+            for name, analyzer in analyzers.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    lines = []
+    for cloud, (rate, churn_series) in rates.items():
+        paper_resp, paper_avail, paper_cluster, paper_overall = PAPER[cloud]
+        rows.append([cloud, "responsiveness", rate.responsiveness, paper_resp])
+        rows.append([cloud, "availability", rate.availability, paper_avail])
+        rows.append([cloud, "cluster", rate.cluster, paper_cluster])
+        rows.append([cloud, "overall", rate.overall, paper_overall])
+        rows.append([cloud, "overall (relative)", rate.overall_relative,
+                     11.9 if cloud == "EC2" else 12.2])
+        lines.append(series(
+            f"[{cloud}] responsive-change %",
+            [entry["responsiveness"] for entry in churn_series],
+            every=5,
+        ))
+    emit(
+        "fig09_churn",
+        table(["Cloud", "Rate", "measured %", "paper %"], rows) + lines,
+    )
+
+    for cloud, (rate, _) in rates.items():
+        # Shape: churn is small, responsiveness-dominated, with cluster
+        # changes an order of magnitude rarer.
+        assert 0.3 < rate.overall < 6.0
+        assert rate.cluster < rate.responsiveness
+        assert rate.cluster < 1.0
+        assert rate.overall_relative > rate.overall

@@ -1,0 +1,43 @@
+"""Figure 10: per-round cluster availability changes.
+
+Paper: the fraction of clusters flipping available/unavailable between
+adjacent rounds averages 4.6% on EC2 and 7.3% on Azure (relative to all
+clusters observed over the whole campaign).
+"""
+
+from repro.analysis import DynamicsAnalyzer
+
+from _render import emit, series
+
+PAPER = {"EC2": 4.6, "Azure": 7.3}
+
+
+def test_fig10_cluster_availability_change(benchmark, ec2, ec2_clusters,
+                                           azure, azure_clusters):
+    analyzers = {
+        "EC2": DynamicsAnalyzer(ec2.dataset, ec2_clusters),
+        "Azure": DynamicsAnalyzer(azure.dataset, azure_clusters),
+    }
+
+    data = benchmark.pedantic(
+        lambda: {
+            name: analyzer.cluster_change_series()
+            for name, analyzer in analyzers.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    lines = []
+    for cloud, values in data.items():
+        average = sum(values) / len(values)
+        lines.append(
+            f"[{cloud}] average change {average:.2f}% "
+            f"(paper {PAPER[cloud]}%)"
+        )
+        lines.append(series(f"  {cloud} % clusters changed", values, every=5))
+    emit("fig10_cluster_change", lines)
+
+    for cloud, values in data.items():
+        average = sum(values) / len(values)
+        assert 1.0 < average < 15.0
+        assert max(values) < 40.0

@@ -1,0 +1,36 @@
+"""Figure 13: EC2 responsive/available IPs over time, split VPC/classic.
+
+Paper: classic carries the bulk (~600-1000K responsive) while VPC holds
+~100-300K; both series are stable with classic >> VPC throughout.
+"""
+
+from repro.analysis import VpcUsageAnalyzer
+
+from _render import emit, series
+
+
+def test_fig13_vpc_ip_timeseries(benchmark, ec2, ec2_clusters,
+                                 ec2_cartography):
+    analyzer = VpcUsageAnalyzer(ec2.dataset, ec2_clusters, ec2_cartography)
+
+    data = benchmark.pedantic(analyzer.ip_series, rounds=1, iterations=1)
+
+    lines = [
+        series("classic responsive", data["classic_responsive"], every=5),
+        series("classic available ", data["classic_available"], every=5),
+        series("vpc responsive    ", data["vpc_responsive"], every=5),
+        series("vpc available     ", data["vpc_available"], every=5),
+    ]
+    emit("fig13_vpc_timeseries", lines)
+
+    for classic, vpc in zip(data["classic_responsive"],
+                            data["vpc_responsive"]):
+        assert classic > vpc          # classic dominates throughout
+    for responsive, available in zip(data["vpc_responsive"],
+                                     data["vpc_available"]):
+        assert available <= responsive
+    # VPC usage grows over the campaign (new accounts are VPC-only).
+    vpc = data["vpc_responsive"]
+    first_third = sum(vpc[: len(vpc) // 3]) / (len(vpc) // 3)
+    last_third = sum(vpc[-(len(vpc) // 3):]) / (len(vpc) // 3)
+    assert last_third >= first_third * 0.95

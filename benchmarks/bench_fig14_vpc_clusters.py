@@ -1,0 +1,49 @@
+"""Figure 14 / §8.1 VPC adoption: classic-only vs VPC-only vs mixed
+clusters over time, plus the overall split and transitions.
+
+Paper: 177,246 clusters (72.9%) classic-only, 59,547 (24.5%) VPC-only,
+6,371 (2.6%) mixed; classic-only declining while VPC-only and mixed
+grow; 1,024 clusters transitioned classic->VPC vs 483 the other way.
+"""
+
+from repro.analysis import VpcUsageAnalyzer
+
+from _render import emit, series, table
+
+PAPER_SPLIT = {"classic-only": 72.9, "vpc-only": 24.5, "mixed": 2.6}
+
+
+def test_fig14_vpc_cluster_series(benchmark, ec2, ec2_clusters,
+                                  ec2_cartography):
+    analyzer = VpcUsageAnalyzer(ec2.dataset, ec2_clusters, ec2_cartography)
+
+    totals, per_round, moves = benchmark.pedantic(
+        lambda: (
+            analyzer.cluster_kind_totals(),
+            analyzer.cluster_kind_series(),
+            analyzer.transitions(),
+        ),
+        rounds=1, iterations=1,
+    )
+
+    total = sum(totals.values())
+    rows = [
+        [kind, count, count / total * 100.0, PAPER_SPLIT[kind]]
+        for kind, count in totals.items()
+    ]
+    lines = table(["Kind", "clusters", "measured %", "paper %"], rows)
+    for kind in ("classic-only", "vpc-only", "mixed"):
+        lines.append(series(f"  {kind}", per_round[kind], every=5))
+    lines.append(
+        f"transitions classic->vpc {moves['classic_to_vpc']}, "
+        f"vpc->classic {moves['vpc_to_classic']} "
+        "(paper: 1024 vs 483)"
+    )
+    emit("fig14_vpc_clusters", lines)
+
+    shares = {k: v / total * 100.0 for k, v in totals.items()}
+    assert shares["classic-only"] > shares["vpc-only"] > shares["mixed"]
+    assert abs(shares["classic-only"] - 72.9) < 15.0
+    # VPC-only clusters grow over the campaign (new accounts).
+    vpc_series = per_round["vpc-only"]
+    assert vpc_series[-1] >= vpc_series[0]

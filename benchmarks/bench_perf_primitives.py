@@ -1,0 +1,123 @@
+"""Performance micro-benchmarks of the platform's hot primitives.
+
+Not paper reproductions — these time the operations a real WhoWas
+deployment leans on (the paper stored 900 GB over 51 rounds):
+simhash fingerprinting, Hamming-distance clustering, feature
+extraction, and the round-table store.  Unlike the reproduction benches
+(single-shot pedantic runs), these use pytest-benchmark's repeated
+timing to give stable numbers.
+"""
+
+import random
+
+from repro.analysis.gap_statistic import cluster_by_threshold
+from repro.core.features import FeatureExtractor
+from repro.core.records import (
+    FetchResult,
+    FetchStatus,
+    PageFeatures,
+    ProbeOutcome,
+    ProbeStatus,
+    RoundRecord,
+)
+from repro.core.simhash import hamming_distance, simhash
+from repro.core.store import MeasurementStore
+
+WORDS = (
+    "cloud tenant deploys scalable service with automated pipeline "
+    "monitoring billing report console project api docs forum"
+).split()
+
+
+def make_page(seed: int, tokens: int = 300) -> str:
+    rng = random.Random(seed)
+    body = " ".join(rng.choice(WORDS) for _ in range(tokens))
+    return f"<html><head><title>page {seed}</title></head><body>{body}</body></html>"
+
+
+def test_perf_simhash(benchmark):
+    page = make_page(1, tokens=300)
+    fingerprint = benchmark(simhash, page)
+    assert fingerprint > 0
+
+
+def test_perf_hamming(benchmark):
+    a = random.Random(1).getrandbits(96)
+    b = random.Random(2).getrandbits(96)
+    distance = benchmark(hamming_distance, a, b)
+    assert 0 <= distance <= 96
+
+
+def test_perf_single_linkage(benchmark):
+    rng = random.Random(3)
+    hashes = [rng.getrandbits(96) for _ in range(200)]
+    clusters = benchmark(cluster_by_threshold, hashes, 8)
+    assert clusters
+
+
+def test_perf_feature_extraction(benchmark):
+    fetch = FetchResult(
+        ip=1,
+        status=FetchStatus.OK,
+        status_code=200,
+        headers={"Server": "nginx/1.4.1", "Content-Type": "text/html",
+                 "X-Powered-By": "PHP/5.3.10"},
+        body=make_page(5),
+    )
+
+    def extract():
+        # A fresh extractor per call so memoisation cannot short-circuit.
+        return FeatureExtractor(memoize=False).extract(fetch)
+
+    features = benchmark(extract)
+    assert features.title == "page 5"
+
+
+def test_perf_store_write(benchmark):
+    records = [
+        RoundRecord(
+            ip=ip,
+            round_id=1,
+            timestamp=0,
+            probe=ProbeOutcome(ip=ip, status=ProbeStatus.RESPONSIVE,
+                               open_ports=frozenset({80})),
+            fetch=FetchResult(ip=ip, status=FetchStatus.OK, status_code=200,
+                              headers={"Content-Type": "text/html"},
+                              body=make_page(ip, tokens=60)),
+            features=PageFeatures(title=f"t{ip}", simhash=ip * 7919),
+        )
+        for ip in range(500)
+    ]
+
+    def write():
+        store = MeasurementStore()
+        info = store.write_round(1, 0, 1000, records)
+        store.close()
+        return info
+
+    info = benchmark(write)
+    assert info.responsive_count == 500
+
+
+def test_perf_history_lookup(benchmark):
+    store = MeasurementStore()
+    for round_id in range(20):
+        records = [
+            RoundRecord(
+                ip=ip,
+                round_id=round_id,
+                timestamp=round_id,
+                probe=ProbeOutcome(ip=ip, status=ProbeStatus.RESPONSIVE,
+                                   open_ports=frozenset({80})),
+                fetch=FetchResult(ip=ip, status=FetchStatus.OK,
+                                  status_code=200,
+                                  headers={"Content-Type": "text/html"},
+                                  body="<title>x</title>"),
+                features=PageFeatures(title="x", simhash=ip),
+            )
+            for ip in range(200)
+        ]
+        store.write_round(round_id, round_id, 400, records)
+
+    history = benchmark(store.history, 77)
+    assert len(history) == 20

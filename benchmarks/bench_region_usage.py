@@ -1,0 +1,41 @@
+"""§8.1 "Region and VPC usage": how clusters use provider regions.
+
+Paper: 97.0% of all clusters use a single region; among the top 5% by
+size only 21.5% use more than one; 98.37% of EC2 clusters keep the same
+region set over time (0.7% add one, 0.76% drop one).
+"""
+
+from repro.analysis import RegionAnalyzer
+
+from _render import emit
+
+
+def test_region_usage(benchmark, ec2, ec2_clusters):
+    analyzer = RegionAnalyzer(
+        ec2.dataset, ec2_clusters, ec2.scenario.topology.region_of
+    )
+
+    usage = benchmark.pedantic(analyzer.usage, rounds=1, iterations=1)
+
+    emit(
+        "region_usage",
+        [
+            f"single-region clusters: {usage.single_region_share:.1f}% "
+            "(paper 97.0%)",
+            f"top-5% clusters spanning regions: "
+            f"{usage.top_multi_region_share:.1f}% (paper 21.5%)",
+            f"same region set over time: {usage.same_region_share():.2f}% "
+            "(paper 98.37%)",
+            "region-count changes: "
+            + ", ".join(
+                f"{delta:+d}: {share:.2f}%"
+                for delta, share in sorted(usage.change_shares.items())
+                if delta != 0
+            ),
+        ],
+    )
+
+    assert usage.single_region_share > 85.0
+    assert usage.same_region_share() > 90.0
+    # Big deployments span regions far more often than the population.
+    assert usage.top_multi_region_share > (100.0 - usage.single_region_share)

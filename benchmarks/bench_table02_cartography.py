@@ -1,0 +1,51 @@
+"""Table 2: breakdown of public EC2 prefixes by VPC, per region.
+
+Paper (at /22 granularity): USEast 280 prefixes / 13.7% of region IPs,
+USWest_Oregon 256 / 36.4%, EU 124 / 20.8%, AsiaTokyo 98 / 32.0%,
+AsiaSingapore 82 / 33.9%, USWest_NC 72 / 22.5%, AsiaSydney 64 / 33.3%,
+SouthAmerica 56 / 31.9%.  The reproduction runs the same DNS decision
+rule over the scaled topology; prefix *counts* scale with the space,
+the *shares* should match the paper's column.
+"""
+
+from repro.analysis import Cartographer
+
+from _render import emit, table
+
+PAPER_SHARES = {
+    "USEast": 13.7,
+    "USWest_Oregon": 36.4,
+    "EU": 20.8,
+    "AsiaTokyo": 32.0,
+    "AsiaSingapore": 33.9,
+    "USWest_NC": 22.5,
+    "AsiaSydney": 33.3,
+    "SouthAmerica": 31.9,
+}
+
+
+def test_table02_vpc_prefixes(benchmark, ec2):
+    scenario = ec2.scenario
+    cartographer = Cartographer(scenario.topology, scenario.dns)
+
+    measured = benchmark.pedantic(
+        lambda: cartographer.map_prefixes(sample_per_prefix=4),
+        rounds=1, iterations=1,
+    )
+    summary = cartographer.summarize(measured)
+
+    rows = []
+    for region, (prefixes, share) in sorted(
+        summary.items(), key=lambda kv: -kv[1][0]
+    ):
+        rows.append([region, prefixes, share, PAPER_SHARES[region]])
+    emit(
+        "table02_cartography",
+        table(["Region", "VPC prefixes", "% region IPs", "paper %"], rows),
+    )
+
+    for region, (_, share) in summary.items():
+        assert abs(share - PAPER_SHARES[region]) < 15.0
+    # Sanity: the measured map equals the topology's ground truth.
+    truth = scenario.topology.vpc_prefix_summary()
+    assert summary == truth

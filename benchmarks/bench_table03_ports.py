@@ -1,0 +1,42 @@
+"""Table 3: average % of responsive IPs per round opening each port set.
+
+Paper: EC2 22-only 25.9 / 80-only 38.0 / 443-only 5.5 / 80&443 30.6;
+Azure 9.3 / 45.8 / 16.5 / 28.4.
+"""
+
+from repro.analysis import DynamicsAnalyzer
+
+from _render import emit, table
+
+PAPER = {
+    "EC2": {"22-only": 25.9, "80-only": 38.0, "443-only": 5.5, "80&443": 30.6},
+    "Azure": {"22-only": 9.3, "80-only": 45.8, "443-only": 16.5, "80&443": 28.4},
+}
+
+
+def test_table03_port_profiles(benchmark, ec2, azure):
+    analyzers = {
+        "EC2": DynamicsAnalyzer(ec2.dataset),
+        "Azure": DynamicsAnalyzer(azure.dataset),
+    }
+
+    tables = benchmark.pedantic(
+        lambda: {name: a.port_profile_table() for name, a in analyzers.items()},
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for cloud, measured in tables.items():
+        for label in ("22-only", "80-only", "443-only", "80&443"):
+            rows.append([cloud, label, measured[label], PAPER[cloud][label]])
+    emit("table03_ports", table(["Cloud", "Ports", "measured %", "paper %"],
+                                rows))
+
+    for cloud, measured in tables.items():
+        # Shape: same ranking of port profiles as the paper.
+        order = sorted(measured, key=measured.get, reverse=True)
+        paper_order = sorted(PAPER[cloud], key=PAPER[cloud].get, reverse=True)
+        assert order == paper_order
+        for label, value in measured.items():
+            # Multi-IP services make per-IP shares noisy at bench scale.
+            assert abs(value - PAPER[cloud][label]) < 12.0

@@ -1,0 +1,38 @@
+"""Table 4: average % of HTTP-responding IPs per status-code class.
+
+Paper: EC2 200: 64.7 / 4xx: 28.0 / 5xx: 7.2 / other: 0.10;
+Azure 60.6 / 30.2 / 9.2 / 0.02.
+"""
+
+from repro.analysis import DynamicsAnalyzer
+
+from _render import emit, table
+
+PAPER = {
+    "EC2": {"200": 64.7, "4xx": 28.0, "5xx": 7.2, "other": 0.10},
+    "Azure": {"200": 60.6, "4xx": 30.2, "5xx": 9.2, "other": 0.02},
+}
+
+
+def test_table04_status_codes(benchmark, ec2, azure):
+    analyzers = {
+        "EC2": DynamicsAnalyzer(ec2.dataset),
+        "Azure": DynamicsAnalyzer(azure.dataset),
+    }
+
+    tables = benchmark.pedantic(
+        lambda: {name: a.status_code_table() for name, a in analyzers.items()},
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for cloud, measured in tables.items():
+        for label in ("200", "4xx", "5xx", "other"):
+            rows.append([cloud, label, measured[label], PAPER[cloud][label]])
+    emit("table04_status", table(["Cloud", "Code", "measured %", "paper %"],
+                                 rows))
+
+    for cloud, measured in tables.items():
+        assert measured["200"] > measured["4xx"] > measured["5xx"]
+        for label in ("200", "4xx", "5xx"):
+            assert abs(measured[label] - PAPER[cloud][label]) < 8.0

@@ -1,0 +1,47 @@
+"""Table 5: top-5 content types among collected webpages.
+
+Paper: EC2 text/html 95.9, text/plain 2.1, application/json 1.0,
+application/xml 0.3, text/xml 0.3, other 0.4; Azure text/html 97.8, ...
+"""
+
+from repro.analysis import DynamicsAnalyzer
+
+from _render import emit, table
+
+PAPER_EC2 = {
+    "text/html": 95.9,
+    "text/plain": 2.1,
+    "application/json": 1.0,
+    "application/xml": 0.3,
+    "text/xml": 0.3,
+}
+
+
+def test_table05_content_types(benchmark, ec2, azure):
+    analyzers = {
+        "EC2": DynamicsAnalyzer(ec2.dataset),
+        "Azure": DynamicsAnalyzer(azure.dataset),
+    }
+
+    tables = benchmark.pedantic(
+        lambda: {
+            name: analyzer.content_type_table()
+            for name, analyzer in analyzers.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for cloud, measured in tables.items():
+        for content_type, share in measured:
+            paper = PAPER_EC2.get(content_type, "") if cloud == "EC2" else ""
+            rows.append([cloud, content_type, share, paper])
+    emit(
+        "table05_content_types",
+        table(["Cloud", "Content type", "measured %", "paper % (EC2)"], rows),
+    )
+
+    for cloud, measured in tables.items():
+        top_type, top_share = measured[0]
+        assert top_type == "text/html"
+        assert top_share > 90.0

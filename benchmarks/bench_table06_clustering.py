@@ -1,0 +1,54 @@
+"""Table 6: the clustering funnel — responsive IPs, unique simhashes,
+top-level / 2nd-level / final cluster counts.
+
+Paper: EC2 1,359,888 IPs / 1,767,072 hashes / 236,227 / 256,335 /
+243,164; Azure 154,753 / 210,418 / 30,581 / 39,183 / 31,728.  Absolute
+counts scale with the simulated space; the *ordering relations* must
+hold: hashes > responsive IPs is specific to the paper's per-IP content
+variety, while the funnel orderings (2nd-level > top-level,
+final < 2nd-level) are structural and checked here.
+"""
+
+from repro.analysis import WebpageClusterer
+
+from _render import emit, table
+
+
+def test_table06_clustering_funnel(benchmark, ec2, azure):
+    datasets = {"EC2": ec2.dataset, "Azure": azure.dataset}
+
+    stats = benchmark.pedantic(
+        lambda: {
+            name: WebpageClusterer().cluster(dataset).stats
+            for name, dataset in datasets.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    paper = {
+        "EC2": [1_359_888, 1_767_072, 236_227, 256_335, 243_164],
+        "Azure": [154_753, 210_418, 30_581, 39_183, 31_728],
+    }
+    rows = []
+    for cloud, stat in stats.items():
+        measured = [
+            stat.responsive_ips,
+            stat.unique_simhashes,
+            stat.top_level_clusters,
+            stat.second_level_clusters,
+            stat.final_clusters,
+        ]
+        for label, value, reference in zip(
+            ("Responsive IPs", "Unique simhashes", "Top-level clusters",
+             "2nd-level clusters", "Final clusters"),
+            measured,
+            paper[cloud],
+        ):
+            rows.append([cloud, label, value, reference])
+    emit("table06_clustering",
+         table(["Cloud", "Quantity", "measured", "paper"], rows))
+
+    for stat in stats.values():
+        assert stat.second_level_clusters >= stat.top_level_clusters
+        assert stat.final_clusters <= stat.second_level_clusters
+        assert stat.unique_simhashes >= stat.top_level_clusters

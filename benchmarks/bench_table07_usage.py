@@ -1,0 +1,72 @@
+"""Table 7: summary of overall address-space usage.
+
+Paper (EC2): responsive avg 1,113,599 (23.7% of space), available avg
+758,144 (16.1%), clusters avg 185,701; growth +3.3% responsive / +4.9%
+available / +3.2% clusters.  Azure: 118,290 (23.9%) / 99,720 (20.1%) /
+27,048; growth +7.3% / +7.7% / +6.2%.  Shares and growth signs are the
+reproduction targets (absolute counts scale with the space).
+"""
+
+from repro.analysis import DynamicsAnalyzer
+
+from _render import emit, table
+
+PAPER = {
+    "EC2": {"responsive_share": 23.7, "available_share": 16.1,
+            "responsive_growth": 3.3, "available_growth": 4.9},
+    "Azure": {"responsive_share": 23.9, "available_share": 20.1,
+              "responsive_growth": 7.3, "available_growth": 7.7},
+}
+
+
+def test_table07_usage_summary(benchmark, ec2, ec2_clusters, azure,
+                               azure_clusters):
+    analyzers = {
+        "EC2": DynamicsAnalyzer(ec2.dataset, ec2_clusters),
+        "Azure": DynamicsAnalyzer(azure.dataset, azure_clusters),
+    }
+
+    summaries = benchmark.pedantic(
+        lambda: {
+            name: analyzer.usage_summary()
+            for name, analyzer in analyzers.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for cloud, summary in summaries.items():
+        space = analyzers[cloud].space_size()
+        for key in ("responsive", "available", "clusters"):
+            entry = summary[key]
+            rows.append([
+                cloud, key,
+                int(entry.minimum), int(entry.maximum), int(entry.average),
+                int(entry.std_dev),
+                entry.average / space * 100.0,
+                entry.growth_pct,
+            ])
+    emit(
+        "table07_usage",
+        table(
+            ["Cloud", "Series", "min", "max", "avg", "std",
+             "% of space", "growth %"],
+            rows,
+        ) + [
+            "paper: EC2 23.7%/16.1% of space, growth +3.3/+4.9/+3.2%;",
+            "       Azure 23.9%/20.1%, growth +7.3/+7.7/+6.2%",
+        ],
+    )
+
+    for cloud, summary in summaries.items():
+        space = analyzers[cloud].space_size()
+        responsive_share = summary["responsive"].average / space * 100.0
+        assert abs(responsive_share - PAPER[cloud]["responsive_share"]) < 6.0
+        # Headline result (1): sizable positive growth in both clouds.
+        assert summary["responsive"].growth_pct > 0
+        assert summary["available"].growth_pct > 0
+        # Azure grows faster in relative terms (paper: 7.3% vs 3.3%).
+    assert (
+        summaries["Azure"]["responsive"].growth_pct
+        > summaries["EC2"]["responsive"].growth_pct * 0.5
+    )

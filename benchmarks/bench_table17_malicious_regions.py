@@ -1,0 +1,52 @@
+"""Table 17: VirusTotal-flagged IPs per EC2 region per month.
+
+Paper: 2,070 malicious IPs total (≥ 2 engines), 0.3% of average
+available IPs; USEast dominates (1,422), followed by EU (200) and
+USWest_Oregon (192); monthly counts grow from October to December.
+Azure: zero VirusTotal-flagged IPs.
+"""
+
+from repro.analysis import VirusTotalAnalyzer
+
+from _render import emit, table
+
+
+def test_table17_vt_by_region(benchmark, ec2, ec2_clusters, azure):
+    analyzer = VirusTotalAnalyzer(
+        ec2.dataset,
+        ec2.scenario.virustotal(seed=3),
+        ec2_clusters,
+        region_of=ec2.scenario.topology.region_of,
+    )
+
+    findings = benchmark.pedantic(analyzer.analyze, rounds=1, iterations=1)
+
+    months = sorted({m for _, m in findings.by_region_month})
+    rows = []
+    region_table = findings.region_month_table()
+    for region, by_month in sorted(
+        region_table.items(), key=lambda kv: -sum(kv[1].values())
+    ):
+        rows.append(
+            [region] + [by_month.get(m, 0) for m in months]
+            + [sum(by_month.values())]
+        )
+    emit(
+        "table17_malicious_regions",
+        table(["Region"] + [f"month{m}" for m in months] + ["total"], rows)
+        + [f"total malicious IPs: {findings.malicious_ip_count} "
+           "(paper: 2,070 on EC2, 0 on Azure; USEast leads)"],
+    )
+
+    assert findings.malicious_ip_count > 0
+    totals = {
+        region: sum(by_month.values())
+        for region, by_month in region_table.items()
+    }
+    # USEast is the largest region and hosts the most malicious IPs.
+    assert max(totals, key=totals.get) == "USEast"
+    # The Azure scenario plants no VT-visible hosters (paper found none).
+    azure_analyzer = VirusTotalAnalyzer(
+        azure.dataset, azure.scenario.virustotal(seed=3)
+    )
+    assert len(azure_analyzer.collect_reports()) == 0

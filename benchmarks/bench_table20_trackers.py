@@ -1,0 +1,65 @@
+"""Table 20: top third-party trackers on the last measurement round,
+plus the Google Analytics account analysis of §8.3.
+
+Paper (EC2, Dec 31 2013): google-analytics 127,604 IPs / 55,406
+clusters; facebook 24,130 / 13,462; twitter 14,706 / 8,520; doubleclick
+5,342 / 2,189; ... 77% of tracker-using pages embed one tracker.  GA
+IDs split into 64,716 accounts, 93.5% with a single profile.
+"""
+
+from repro.analysis import TrackerAnalyzer, analyze_ga_accounts
+
+from _render import emit, table
+
+PAPER_ORDER = ["google-analytics", "facebook", "twitter", "doubleclick"]
+
+
+def test_table20_trackers(benchmark, ec2, ec2_clusters, azure,
+                          azure_clusters):
+    analyzers = {
+        "EC2": TrackerAnalyzer(ec2.store, ec2_clusters),
+        "Azure": TrackerAnalyzer(azure.store, azure_clusters),
+    }
+    last_rounds = {
+        "EC2": ec2.dataset.round_ids[-1],
+        "Azure": azure.dataset.round_ids[-1],
+    }
+
+    hits = benchmark.pedantic(
+        lambda: {
+            name: analyzer.scan_round(last_rounds[name])
+            for name, analyzer in analyzers.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for cloud, found in hits.items():
+        for name, ips, clusters in found.table(10):
+            rows.append([cloud, name, ips, clusters])
+    lines = table(["Cloud", "Tracker", "#IP", "#Clusters"], rows)
+    for cloud, found in hits.items():
+        shares = found.multi_tracker_shares()
+        lines.append(
+            f"[{cloud}] trackers per page: "
+            + ", ".join(f"{n}: {share:.0f}%" for n, share in shares.items())
+            + " (paper EC2: 1: 77%, 2: 16%, 3: 6%)"
+        )
+    ga_stats = analyze_ga_accounts(analyzers["EC2"].ga_ids())
+    lines.append(
+        f"[EC2] GA: {ga_stats.unique_ids} IDs on {ga_stats.unique_ips} IPs, "
+        f"{ga_stats.accounts} accounts, single-profile "
+        f"{ga_stats.single_profile_share():.1f}% (paper 93.5%)"
+    )
+    emit("table20_trackers", lines)
+
+    for cloud, found in hits.items():
+        top = found.table(10)
+        assert top[0][0] == "google-analytics"
+        names = [name for name, _, _ in top]
+        # The paper's leaders rank high in both clouds.
+        present = [n for n in PAPER_ORDER if n in names]
+        assert names[: len(present)] == present or set(PAPER_ORDER[:3]) <= set(
+            names[:5]
+        )
+    assert ga_stats.single_profile_share() > 60.0

@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+One EC2-like and one Azure-like campaign are run once per session at
+"bench scale" (default 8192 / 4096 IPs — pass ``--repro-scale`` to grow
+or shrink) with the paper's full scan calendars (51 / 46 rounds), then
+every bench reproduces its table or figure from the shared results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Cartographer
+from repro.workloads import Campaign, CampaignResult, azure_scenario, ec2_scenario
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        type=float,
+        default=1.0,
+        help="scale factor for the simulated address spaces "
+        "(1.0 = 8192 EC2 / 4096 Azure IPs)",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request) -> float:
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def ec2(repro_scale) -> CampaignResult:
+    scenario = ec2_scenario(total_ips=int(8192 * repro_scale), seed=7)
+    return Campaign(scenario).run()
+
+
+@pytest.fixture(scope="session")
+def azure(repro_scale) -> CampaignResult:
+    scenario = azure_scenario(total_ips=int(4096 * repro_scale), seed=11)
+    return Campaign(scenario).run()
+
+
+@pytest.fixture(scope="session")
+def ec2_clusters(ec2):
+    return ec2.clustering()
+
+
+@pytest.fixture(scope="session")
+def azure_clusters(azure):
+    return azure.clustering()
+
+
+@pytest.fixture(scope="session")
+def ec2_cartography(ec2):
+    scenario = ec2.scenario
+    cartographer = Cartographer(scenario.topology, scenario.dns)
+    return cartographer.map_prefixes(sample_per_prefix=4)

@@ -1,0 +1,96 @@
+"""Cloud usage dynamics study — the §8.1 workflow, end to end.
+
+Runs a full-length EC2-like campaign (51 rounds over 93 days), then
+reproduces the §8.1 analyses: usage growth, churn rates, cluster size
+distribution, size-change patterns, within-cluster IP churn, and the
+top deployments (Table 15's view).
+
+Run:  python examples/cloud_dynamics_study.py  [--ips 4096]
+"""
+
+import argparse
+from collections import Counter
+
+from repro.analysis import (
+    DynamicsAnalyzer,
+    PatternAnalyzer,
+    UptimeAnalyzer,
+)
+from repro.workloads import Campaign, ec2_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ips", type=int, default=4096,
+                        help="size of the simulated address space")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    scenario = ec2_scenario(total_ips=args.ips, seed=args.seed)
+    print(f"running {len(scenario.scan_days)} rounds over "
+          f"{scenario.workload.duration_days} days ...")
+    result = Campaign(scenario).run()
+    dataset = result.dataset
+    clustering = result.clustering()
+
+    # --- usage and growth (Table 7 / Figure 8) ---
+    dynamics = DynamicsAnalyzer(dataset, clustering)
+    print("\n== usage (paper Table 7) ==")
+    for name, summary in dynamics.usage_summary().items():
+        print(
+            f"  {name:<10} avg {summary.average:8.0f}  "
+            f"min {summary.minimum:6.0f}  max {summary.maximum:6.0f}  "
+            f"growth {summary.growth_pct:+.1f}%"
+        )
+
+    # --- churn (Figure 9) ---
+    rates = dynamics.churn_rates()
+    print("\n== per-round status churn (paper ~3.0% overall) ==")
+    print(f"  responsiveness {rates.responsiveness:.2f}%  "
+          f"availability {rates.availability:.2f}%  "
+          f"cluster {rates.cluster:.2f}%  overall {rates.overall:.2f}%")
+
+    # --- cluster sizes (§8.1: >3/4 of services use one IP) ---
+    sizes = clustering.sizes(dataset.round_count)
+    buckets = Counter()
+    for size in sizes.values():
+        if size <= 1:
+            buckets["1"] += 1
+        elif size <= 20:
+            buckets["2-20"] += 1
+        elif size <= 50:
+            buckets["21-50"] += 1
+        else:
+            buckets[">50"] += 1
+    total = sum(buckets.values())
+    print("\n== average cluster size distribution ==")
+    for label in ("1", "2-20", "21-50", ">50"):
+        share = buckets.get(label, 0) / total * 100.0
+        print(f"  {label:>5}: {share:5.1f}%")
+
+    # --- size-change patterns (Table 11) ---
+    breakdown = PatternAnalyzer(dataset, clustering).breakdown()
+    print("\n== top size-change patterns (paper Table 11) ==")
+    for label, count, share in breakdown.top(5):
+        print(f"  {label:<12} {count:5d} ({share:4.1f}%)")
+    print(f"  pattern-0 split: {breakdown.ephemeral} ephemeral, "
+          f"{breakdown.stable} stable")
+
+    # --- top deployments (Table 15) ---
+    uptime = UptimeAnalyzer(
+        dataset, clustering,
+        region_of=scenario.topology.region_of,
+        kind_of=scenario.topology.kind_of,
+    )
+    print("\n== top 5 deployments by average size (paper Table 15) ==")
+    for row in uptime.top_clusters(5):
+        print(
+            f"  {row.title[:32]:<34} mean {row.mean_size:5.1f} IPs  "
+            f"uptime {row.avg_ip_uptime:5.1f}%  "
+            f"stable IPs {row.stable_ip_share:5.1f}%  "
+            f"regions {row.regions_used}"
+        )
+
+
+if __name__ == "__main__":
+    main()

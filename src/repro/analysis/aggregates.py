@@ -1,0 +1,151 @@
+"""Privacy-preserving aggregate reports (§7).
+
+The paper withholds its raw dataset — some tenants inadvertently
+exposed content — and suggests a public interface "only providing
+aggregate statistics".  This module renders exactly that: a summary of
+a campaign that contains **no IP addresses, no URLs, no page content,
+and no identifiers** (Google Analytics IDs are counted, never listed),
+with small categories suppressed below a k-anonymity floor.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.records import UNKNOWN
+from .census import server_family
+from .clustering import ClusteringResult
+from .dataset import Dataset
+from .dynamics import DynamicsAnalyzer
+
+__all__ = ["AggregateReport", "build_aggregate_report"]
+
+#: Categories observed on fewer than this many IPs are folded into
+#: "(suppressed)" so rare configurations cannot identify a tenant.
+K_ANONYMITY_FLOOR = 5
+
+
+@dataclass(frozen=True)
+class AggregateReport:
+    """Shareable aggregate view of one measurement campaign."""
+
+    cloud: str
+    rounds: int
+    space_size: int
+    responsive_share_avg: float          # % of the probed space
+    available_share_avg: float
+    growth_responsive_pct: float
+    port_profile_shares: dict[str, float]
+    status_class_shares: dict[str, float]
+    content_type_shares: dict[str, float]
+    server_family_shares: dict[str, float]
+    cluster_size_histogram: dict[str, int]
+    churn_overall_pct: float | None = None
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            "cloud": self.cloud,
+            "rounds": self.rounds,
+            "space_size": self.space_size,
+            "responsive_share_avg": round(self.responsive_share_avg, 2),
+            "available_share_avg": round(self.available_share_avg, 2),
+            "growth_responsive_pct": round(self.growth_responsive_pct, 2),
+            "port_profile_shares": _rounded(self.port_profile_shares),
+            "status_class_shares": _rounded(self.status_class_shares),
+            "content_type_shares": _rounded(self.content_type_shares),
+            "server_family_shares": _rounded(self.server_family_shares),
+            "cluster_size_histogram": self.cluster_size_histogram,
+            "churn_overall_pct": (
+                round(self.churn_overall_pct, 2)
+                if self.churn_overall_pct is not None else None
+            ),
+            "extra": _rounded(self.extra),
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def assert_private(self) -> None:
+        """Self-check: no dotted quads, URLs, or GA IDs in the output."""
+        import re
+
+        text = self.to_json()
+        assert not re.search(r"\b\d{1,3}(\.\d{1,3}){3}\b", text), \
+            "aggregate report leaks an IP address"
+        assert "http://" not in text and "https://" not in text, \
+            "aggregate report leaks a URL"
+        assert not re.search(r"\bUA-\d", text), \
+            "aggregate report leaks a Google Analytics ID"
+
+
+def build_aggregate_report(
+    cloud: str,
+    dataset: Dataset,
+    clustering: ClusteringResult | None = None,
+) -> AggregateReport:
+    """Aggregate one campaign into a shareable report."""
+    dynamics = DynamicsAnalyzer(dataset, clustering)
+    responsive = dynamics.responsive_series()
+    available = dynamics.available_series()
+    space = dynamics.space_size()
+    summary = dynamics.usage_summary()
+
+    families: Counter[str] = Counter()
+    for obs in dataset.observations():
+        if obs.features is not None and obs.features.server != UNKNOWN:
+            families[server_family(obs.features.server)] += 1
+    family_shares = _suppressed_shares(families)
+
+    histogram: dict[str, int] = {}
+    churn = None
+    if clustering is not None:
+        buckets: Counter[str] = Counter()
+        for size in clustering.sizes(dataset.round_count).values():
+            if size <= 1:
+                buckets["1"] += 1
+            elif size <= 20:
+                buckets["2-20"] += 1
+            elif size <= 50:
+                buckets["21-50"] += 1
+            else:
+                buckets[">50"] += 1
+        histogram = dict(buckets)
+        if dataset.round_count >= 2:
+            churn = dynamics.churn_rates().overall
+
+    return AggregateReport(
+        cloud=cloud,
+        rounds=dataset.round_count,
+        space_size=space,
+        responsive_share_avg=sum(responsive) / len(responsive) / space * 100,
+        available_share_avg=sum(available) / len(available) / space * 100,
+        growth_responsive_pct=summary["responsive"].growth_pct,
+        port_profile_shares=dynamics.port_profile_table(),
+        status_class_shares=dynamics.status_code_table(),
+        content_type_shares=dict(dynamics.content_type_table()),
+        server_family_shares=family_shares,
+        cluster_size_histogram=histogram,
+        churn_overall_pct=churn,
+    )
+
+
+def _rounded(mapping: dict[str, float]) -> dict[str, float]:
+    return {key: round(value, 2) for key, value in mapping.items()}
+
+
+def _suppressed_shares(counter: Counter) -> dict[str, float]:
+    """Shares with k-anonymity suppression of rare categories."""
+    total = sum(counter.values())
+    if total == 0:
+        return {}
+    shares: dict[str, float] = {}
+    suppressed = 0
+    for name, count in counter.most_common():
+        if count < K_ANONYMITY_FLOOR:
+            suppressed += count
+        else:
+            shares[name] = count / total * 100.0
+    if suppressed:
+        shares["(suppressed)"] = suppressed / total * 100.0
+    return shares

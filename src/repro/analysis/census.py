@@ -1,0 +1,229 @@
+"""The web software ecosystem census (§8.3).
+
+From the per-page features WhoWas stores — the ``Server`` header, the
+``x-powered-by`` header and the generator template — this module
+tabulates, as averages over all measurement rounds:
+
+* web server families and exact version shares (Apache 2.2.* dominance,
+  the rare 2.4.7 adopters, …),
+* backend technologies (PHP / ASP.NET / Phusion Passenger) and PHP
+  version staleness,
+* website templates (WordPress / Joomla! / Drupal) and the share of
+  WordPress sites below 3.6 (known XSS vulnerabilities),
+* servers appearing on SERT's most-vulnerable list.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+
+from ..cloudsim.software import VULNERABLE_SERVERS, VULNERABLE_WORDPRESS_MAX
+from ..core.records import UNKNOWN
+from .dataset import Dataset
+
+__all__ = ["server_family", "CensusReport", "SoftwareCensus",
+           "SshCensusReport", "SshCensus"]
+
+_FAMILY_PREFIXES = (
+    ("apache", "Apache"),
+    ("nginx", "nginx"),
+    ("microsoft-iis", "Microsoft-IIS"),
+    ("mochiweb", "MochiWeb"),
+    ("lighttpd", "lighttpd"),
+    ("jetty", "Jetty"),
+    ("gunicorn", "gunicorn"),
+    ("litespeed", "LiteSpeed"),
+    ("cowboy", "Cowboy"),
+)
+
+_WORDPRESS_VERSION_RE = re.compile(r"wordpress\s+(\d+)\.(\d+)", re.IGNORECASE)
+
+_PHP_RE = re.compile(r"php/(\d+\.\d+\.\d+)", re.IGNORECASE)
+
+
+def server_family(server: str) -> str:
+    """Normalise a Server header to its product family."""
+    lowered = server.lower()
+    for prefix, family in _FAMILY_PREFIXES:
+        if lowered.startswith(prefix):
+            return family
+    return server.split("/")[0] if server else UNKNOWN
+
+
+@dataclass(frozen=True)
+class CensusReport:
+    """All §8.3 tabulations for one campaign."""
+
+    #: Fraction of available IPs whose server software was identified.
+    server_identified_share: float
+    server_family_shares: dict[str, float]      # % of identified servers
+    server_version_counts: Counter
+    backend_identified_share: float              # % of identified servers
+    backend_shares: dict[str, float]             # % of identified backends
+    php_version_shares: dict[str, float]
+    template_shares: dict[str, float]            # % of identified templates
+    template_ip_average: float                   # avg #IPs with a template
+    wordpress_version_counts: Counter
+    wordpress_vulnerable_share: float            # % of WP sites < 3.6
+    vulnerable_server_ips: Counter               # server string -> #IPs
+
+    def top_servers(self, count: int = 10) -> list[tuple[str, int]]:
+        return self.server_version_counts.most_common(count)
+
+
+class SoftwareCensus:
+    """Computes the §8.3 census over a campaign dataset."""
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+
+    def report(self) -> CensusReport:
+        available = 0
+        identified = 0
+        families: Counter[str] = Counter()
+        versions: Counter[str] = Counter()
+        backends: Counter[str] = Counter()
+        backend_seen = 0
+        php_versions: Counter[str] = Counter()
+        templates: Counter[str] = Counter()
+        template_rounds: Counter[int] = Counter()
+        wordpress: Counter[str] = Counter()
+        wordpress_vulnerable = 0
+        vulnerable: Counter[str] = Counter()
+
+        for obs in self.dataset.observations():
+            if not obs.available:
+                continue
+            available += 1
+            features = obs.features
+            if features is None:
+                continue
+            server = features.server
+            if server != UNKNOWN:
+                identified += 1
+                families[server_family(server)] += 1
+                versions[server] += 1
+                if server in VULNERABLE_SERVERS:
+                    vulnerable[server] += 1
+            backend = features.powered_by
+            if backend != UNKNOWN:
+                backend_seen += 1
+                php = _PHP_RE.match(backend)
+                if php:
+                    backends["PHP"] += 1
+                    php_versions[f"PHP/{php.group(1)}"] += 1
+                else:
+                    backends[backend] += 1
+            template = features.template
+            if template != UNKNOWN:
+                template_rounds[obs.round_id] += 1
+                wp = _WORDPRESS_VERSION_RE.match(template)
+                if wp:
+                    templates["WordPress"] += 1
+                    wordpress[template] += 1
+                    version = (int(wp.group(1)), int(wp.group(2)))
+                    if version < VULNERABLE_WORDPRESS_MAX:
+                        wordpress_vulnerable += 1
+                else:
+                    templates[template.split()[0]] += 1
+
+        round_count = self.dataset.round_count or 1
+        return CensusReport(
+            server_identified_share=_pct(identified, available),
+            server_family_shares=_shares(families),
+            server_version_counts=versions,
+            backend_identified_share=_pct(backend_seen, identified),
+            backend_shares=_shares(backends),
+            php_version_shares=_shares(php_versions),
+            template_shares=_shares(templates),
+            template_ip_average=sum(template_rounds.values()) / round_count,
+            wordpress_version_counts=wordpress,
+            wordpress_vulnerable_share=_pct(
+                wordpress_vulnerable, sum(wordpress.values())
+            ),
+            vulnerable_server_ips=vulnerable,
+        )
+
+
+def _pct(part: int, whole: int) -> float:
+    return part / whole * 100.0 if whole else 0.0
+
+
+def _shares(counter: Counter) -> dict[str, float]:
+    total = sum(counter.values())
+    if total == 0:
+        return {}
+    return {
+        name: count / total * 100.0
+        for name, count in counter.most_common()
+    }
+
+
+#: OpenSSH releases at or below this version were end-of-life during the
+#: measurement window, mirroring the web-version staleness analysis.
+_STALE_OPENSSH_MAX = (5, 9)
+
+_SSH_VERSION_RE = re.compile(
+    r"SSH-[\d.]+-(?P<product>[A-Za-z]+)[_/ ]?(?P<major>\d+)?(?:\.(?P<minor>\d+))?"
+)
+
+
+@dataclass(frozen=True)
+class SshCensusReport:
+    """The non-web-services census (the paper's §9 extension)."""
+
+    #: Fraction of SSH-exposing responsive IPs whose banner was read.
+    banner_identified_share: float
+    banner_counts: Counter
+    product_shares: dict[str, float]
+    stale_openssh_share: float      # % of OpenSSH banners at <= 5.9
+
+    def top_banners(self, count: int = 10) -> list[tuple[str, int]]:
+        return self.banner_counts.most_common(count)
+
+
+class SshCensus:
+    """Tabulates SSH banners across a campaign — which sshd products
+    and versions cloud instances expose on port 22."""
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+
+    def report(self) -> SshCensusReport:
+        exposing = 0
+        banners: Counter[str] = Counter()
+        products: Counter[str] = Counter()
+        openssh_total = 0
+        openssh_stale = 0
+        for obs in self.dataset.observations():
+            # The scanner probes port 22 only when both web probes fail
+            # (§4), so SSH exposure is only *known* for 22-only IPs.
+            if obs.port_profile != "22-only":
+                continue
+            exposing += 1
+            banner = obs.ssh_banner
+            if not banner:
+                continue
+            banners[banner] += 1
+            match = _SSH_VERSION_RE.match(banner)
+            if not match:
+                products["(other)"] += 1
+                continue
+            product = match.group("product")
+            products[product] += 1
+            if product == "OpenSSH" and match.group("major"):
+                openssh_total += 1
+                version = (
+                    int(match.group("major")),
+                    int(match.group("minor") or 0),
+                )
+                if version <= _STALE_OPENSSH_MAX:
+                    openssh_stale += 1
+        return SshCensusReport(
+            banner_identified_share=_pct(sum(banners.values()), exposing),
+            banner_counts=banners,
+            product_shares=_shares(products),
+            stale_openssh_share=_pct(openssh_stale, openssh_total),
+        )

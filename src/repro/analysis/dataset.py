@@ -1,0 +1,132 @@
+"""In-memory view of a WhoWas measurement campaign.
+
+Analyses repeatedly traverse every ``<IP, round>`` record, so this
+module loads a :class:`~repro.core.store.MeasurementStore` once into
+compact :class:`Observation` rows (dropping page bodies after link
+extraction) and indexes them by round and by IP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.features import extract_domains, extract_links
+from ..core.records import PageFeatures, RoundRecord
+from ..core.store import MeasurementStore, RoundInfo
+
+__all__ = ["Observation", "Dataset"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One responsive ``<IP, round>`` pair, with extracted features."""
+
+    ip: int
+    round_id: int
+    timestamp: int
+    port_profile: str          # Table 3 label: "22-only", "80-only", ...
+    available: bool
+    status_code: int | None
+    status_class: str          # "200", "4xx", "5xx", "other"
+    content_type: str
+    fetch_status: str
+    features: PageFeatures | None
+    links: tuple[str, ...] = ()
+    ssh_banner: str | None = None
+    #: Domain names appearing in the page body (vhost leakage, §4).
+    domains: tuple[str, ...] = ()
+
+    @property
+    def has_page(self) -> bool:
+        """Whether this observation carries clusterable page content."""
+        return self.features is not None
+
+    def key(self) -> tuple[int, int]:
+        return (self.ip, self.round_id)
+
+
+def _observe(record: RoundRecord) -> Observation:
+    links: tuple[str, ...] = ()
+    domains: tuple[str, ...] = ()
+    if record.fetch.body:
+        links = tuple(extract_links(record.fetch.body))
+        domains = tuple(extract_domains(record.fetch.body))
+    return Observation(
+        ip=record.ip,
+        round_id=record.round_id,
+        timestamp=record.timestamp,
+        port_profile=record.probe.port_profile(),
+        available=record.available,
+        status_code=record.fetch.status_code,
+        status_class=record.fetch.status_class(),
+        content_type=record.fetch.content_type,
+        fetch_status=record.fetch.status.value,
+        features=record.features,
+        links=links,
+        ssh_banner=record.ssh_banner,
+        domains=domains,
+    )
+
+
+class Dataset:
+    """All rounds of one campaign, indexed for analysis."""
+
+    def __init__(self, rounds: list[RoundInfo],
+                 observations: list[Observation]):
+        self.rounds = sorted(rounds, key=lambda r: r.timestamp)
+        self.round_ids = [r.round_id for r in self.rounds]
+        self._timestamps = {r.round_id: r.timestamp for r in self.rounds}
+        self.by_round: dict[int, list[Observation]] = {
+            r.round_id: [] for r in self.rounds
+        }
+        self.by_ip: dict[int, list[Observation]] = {}
+        for obs in observations:
+            self.by_round[obs.round_id].append(obs)
+            self.by_ip.setdefault(obs.ip, []).append(obs)
+        for history in self.by_ip.values():
+            history.sort(key=lambda o: o.timestamp)
+
+    @classmethod
+    def from_store(cls, store: MeasurementStore) -> "Dataset":
+        rounds = store.rounds()
+        observations = [
+            _observe(record)
+            for info in rounds
+            for record in store.records(info.round_id)
+        ]
+        return cls(rounds, observations)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    def timestamp_of(self, round_id: int) -> int:
+        return self._timestamps[round_id]
+
+    def observations(self) -> Iterator[Observation]:
+        """Every observation, in round order."""
+        for round_id in self.round_ids:
+            yield from self.by_round[round_id]
+
+    def responsive_ips(self, round_id: int) -> set[int]:
+        return {o.ip for o in self.by_round[round_id]}
+
+    def available_ips(self, round_id: int) -> set[int]:
+        return {o.ip for o in self.by_round[round_id] if o.available}
+
+    def pages(self, round_id: int) -> list[Observation]:
+        """Observations of this round that carry page content."""
+        return [o for o in self.by_round[round_id] if o.has_page]
+
+    def history(self, ip: int) -> list[Observation]:
+        """All observations of one IP, in chronological order."""
+        return self.by_ip.get(ip, [])
+
+    def targets_probed(self, round_id: int) -> int:
+        for info in self.rounds:
+            if info.round_id == round_id:
+                return info.targets_probed
+        raise KeyError(round_id)

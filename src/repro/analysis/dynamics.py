@@ -1,0 +1,277 @@
+"""Cloud usage dynamics (§8.1): responsiveness, availability, churn.
+
+Produces the data behind Tables 3, 4, 5 and 7 and Figures 8, 9 and 10:
+per-round time series of responsive/available IPs and clusters, the
+port/status/content-type mixes, growth over the campaign, and the
+status-churn measures that are WhoWas's headline capability.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from .clustering import ClusteringResult
+from .dataset import Dataset
+
+__all__ = [
+    "SeriesSummary",
+    "ChurnRates",
+    "DynamicsAnalyzer",
+]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Min/max/avg/σ/growth of one per-round series (a Table 7 column)."""
+
+    minimum: float
+    maximum: float
+    average: float
+    std_dev: float
+    growth: float          # last − first
+    growth_pct: float      # relative to the first round
+
+    @classmethod
+    def of(cls, series: list[float]) -> "SeriesSummary":
+        if not series:
+            raise ValueError("empty series")
+        average = sum(series) / len(series)
+        variance = sum((v - average) ** 2 for v in series) / len(series)
+        growth = series[-1] - series[0]
+        growth_pct = (growth / series[0] * 100.0) if series[0] else 0.0
+        return cls(
+            minimum=min(series),
+            maximum=max(series),
+            average=average,
+            std_dev=math.sqrt(variance),
+            growth=growth,
+            growth_pct=growth_pct,
+        )
+
+
+@dataclass(frozen=True)
+class ChurnRates:
+    """Average per-round status-change rates (§8.1 "IP status churn")."""
+
+    overall: float          # any status change / all probed IPs
+    responsiveness: float
+    availability: float
+    cluster: float
+    #: Same rates relative to IPs responsive in either adjacent round.
+    overall_relative: float
+    responsiveness_relative: float
+    availability_relative: float
+    cluster_relative: float
+
+
+class DynamicsAnalyzer:
+    """Usage/churn analyses over one campaign."""
+
+    def __init__(self, dataset: Dataset,
+                 clustering: ClusteringResult | None = None):
+        self.dataset = dataset
+        self.clustering = clustering
+
+    # ------------------------------------------------------------------
+    # time series (Figure 8)
+
+    def responsive_series(self) -> list[int]:
+        return [
+            len(self.dataset.by_round[rid]) for rid in self.dataset.round_ids
+        ]
+
+    def available_series(self) -> list[int]:
+        return [
+            sum(1 for o in self.dataset.by_round[rid] if o.available)
+            for rid in self.dataset.round_ids
+        ]
+
+    def cluster_series(self) -> list[int]:
+        """Number of distinct final clusters present per round."""
+        clustering = self._require_clustering()
+        counts = Counter()
+        for cluster in clustering.clusters.values():
+            for round_id in cluster.rounds():
+                counts[round_id] += 1
+        return [counts.get(rid, 0) for rid in self.dataset.round_ids]
+
+    # ------------------------------------------------------------------
+    # Table 7
+
+    def usage_summary(self) -> dict[str, SeriesSummary]:
+        summary = {
+            "responsive": SeriesSummary.of(
+                [float(v) for v in self.responsive_series()]
+            ),
+            "available": SeriesSummary.of(
+                [float(v) for v in self.available_series()]
+            ),
+        }
+        if self.clustering is not None:
+            summary["clusters"] = SeriesSummary.of(
+                [float(v) for v in self.cluster_series()]
+            )
+        return summary
+
+    def space_size(self) -> int:
+        return self.dataset.targets_probed(self.dataset.round_ids[0])
+
+    # ------------------------------------------------------------------
+    # Tables 3, 4, 5
+
+    def port_profile_table(self) -> dict[str, float]:
+        """Average % of responsive IPs per round with each port profile
+        (Table 3)."""
+        per_round: list[Counter] = []
+        for rid in self.dataset.round_ids:
+            counter = Counter(o.port_profile for o in self.dataset.by_round[rid])
+            per_round.append(counter)
+        labels = ("22-only", "80-only", "443-only", "80&443")
+        table: dict[str, float] = {}
+        for label in labels:
+            shares = []
+            for counter in per_round:
+                total = sum(counter.values())
+                shares.append(counter.get(label, 0) / total * 100.0 if total else 0.0)
+            table[label] = sum(shares) / len(shares)
+        return table
+
+    def status_code_table(self) -> dict[str, float]:
+        """Average % of HTTP-responding IPs per round in each status
+        class (Table 4)."""
+        labels = ("200", "4xx", "5xx", "other")
+        per_round: list[Counter] = []
+        for rid in self.dataset.round_ids:
+            counter = Counter(
+                o.status_class
+                for o in self.dataset.by_round[rid]
+                if o.status_code is not None
+            )
+            per_round.append(counter)
+        table = {}
+        for label in labels:
+            shares = []
+            for counter in per_round:
+                total = sum(counter.values())
+                shares.append(counter.get(label, 0) / total * 100.0 if total else 0.0)
+            table[label] = sum(shares) / len(shares)
+        return table
+
+    def content_type_table(self, top: int = 5) -> list[tuple[str, float]]:
+        """Top content types among collected webpages (Table 5)."""
+        counter: Counter[str] = Counter()
+        for obs in self.dataset.observations():
+            if obs.has_page and obs.content_type:
+                counter[obs.content_type] += 1
+        total = sum(counter.values())
+        if total == 0:
+            return []
+        ranked = counter.most_common()
+        head = [(name, count / total * 100.0) for name, count in ranked[:top]]
+        tail = sum(count for _, count in ranked[top:]) / total * 100.0
+        if tail:
+            head.append(("other", tail))
+        return head
+
+    # ------------------------------------------------------------------
+    # churn (Figure 9, §8.1)
+
+    def churn_series(self) -> list[dict[str, float]]:
+        """Per adjacent round pair: status-change rates as % of all
+        probed IPs, plus the relative variants."""
+        dataset = self.dataset
+        clustering = self.clustering
+        series: list[dict[str, float]] = []
+        round_ids = dataset.round_ids
+        for previous_rid, current_rid in zip(round_ids, round_ids[1:]):
+            previous = {o.ip: o for o in dataset.by_round[previous_rid]}
+            current = {o.ip: o for o in dataset.by_round[current_rid]}
+            union_ips = set(previous) | set(current)
+            total = dataset.targets_probed(current_rid)
+
+            responsive_changes = len(set(previous) ^ set(current))
+            availability_changes = 0
+            cluster_changes = 0
+            changed_any = set(previous.keys()) ^ set(current.keys())
+            for ip in set(previous) | set(current):
+                was_available = ip in previous and previous[ip].available
+                is_available = ip in current and current[ip].available
+                if was_available != is_available:
+                    availability_changes += 1
+                    changed_any.add(ip)
+                if clustering is not None and ip in previous and ip in current:
+                    before = clustering.cluster_of(ip, previous_rid)
+                    after = clustering.cluster_of(ip, current_rid)
+                    if before is not None and after is not None and before != after:
+                        cluster_changes += 1
+                        changed_any.add(ip)
+            denominator_rel = len(union_ips) or 1
+            series.append(
+                {
+                    "round_id": current_rid,
+                    "responsiveness": responsive_changes / total * 100.0,
+                    "availability": availability_changes / total * 100.0,
+                    "cluster": cluster_changes / total * 100.0,
+                    "overall": len(changed_any) / total * 100.0,
+                    "responsiveness_relative":
+                        responsive_changes / denominator_rel * 100.0,
+                    "availability_relative":
+                        availability_changes / denominator_rel * 100.0,
+                    "cluster_relative": cluster_changes / denominator_rel * 100.0,
+                    "overall_relative": len(changed_any) / denominator_rel * 100.0,
+                }
+            )
+        return series
+
+    def churn_rates(self) -> ChurnRates:
+        series = self.churn_series()
+        if not series:
+            raise ValueError("need at least two rounds to measure churn")
+
+        def mean(key: str) -> float:
+            return sum(entry[key] for entry in series) / len(series)
+
+        return ChurnRates(
+            overall=mean("overall"),
+            responsiveness=mean("responsiveness"),
+            availability=mean("availability"),
+            cluster=mean("cluster"),
+            overall_relative=mean("overall_relative"),
+            responsiveness_relative=mean("responsiveness_relative"),
+            availability_relative=mean("availability_relative"),
+            cluster_relative=mean("cluster_relative"),
+        )
+
+    # ------------------------------------------------------------------
+    # cluster availability change (Figure 10)
+
+    def cluster_change_series(self) -> list[float]:
+        """Per round: % of all observed clusters whose availability
+        (≥ 1 available IP) flipped relative to the previous round."""
+        clustering = self._require_clustering()
+        dataset = self.dataset
+        availability: dict[int, set[int]] = {}
+        for obs in dataset.observations():
+            if not obs.available:
+                continue
+            cid = clustering.cluster_of(obs.ip, obs.round_id)
+            if cid is not None:
+                availability.setdefault(cid, set()).add(obs.round_id)
+        total_clusters = len(clustering.clusters) or 1
+        series: list[float] = []
+        for previous_rid, current_rid in zip(dataset.round_ids,
+                                             dataset.round_ids[1:]):
+            changed = sum(
+                1
+                for rounds in availability.values()
+                if (previous_rid in rounds) != (current_rid in rounds)
+            )
+            series.append(changed / total_clusters * 100.0)
+        return series
+
+    def _require_clustering(self) -> ClusteringResult:
+        if self.clustering is None:
+            raise ValueError("this analysis needs a ClusteringResult")
+        return self.clustering

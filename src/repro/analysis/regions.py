@@ -1,0 +1,108 @@
+"""Region usage by clusters (§8.1 "Region and VPC usage").
+
+The paper reports: 97.0% of all clusters use a single region; even among
+the top 5% of clusters by size only 21.5% span several; and region usage
+is sticky over time — 98.37% of EC2 clusters keep the same region set,
+with ~0.7% adding one region and ~0.76% dropping one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .clustering import ClusteringResult
+from .dataset import Dataset
+
+__all__ = ["RegionUsage", "RegionAnalyzer"]
+
+
+@dataclass(frozen=True)
+class RegionUsage:
+    """Aggregate region-usage statistics for one campaign."""
+
+    single_region_share: float          # % of clusters in exactly 1 region
+    top_multi_region_share: float       # % of top-5% clusters in >1 region
+    #: region-set evolution between the first and second half of each
+    #: cluster's life: net region-count change -> % of clusters
+    change_shares: dict[int, float]
+
+    def same_region_share(self) -> float:
+        return self.change_shares.get(0, 0.0)
+
+
+class RegionAnalyzer:
+    """Computes §8.1's region-usage statistics."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        clustering: ClusteringResult,
+        region_of: Callable[[int], str],
+        *,
+        top_fraction: float = 0.05,
+    ):
+        self.dataset = dataset
+        self.clustering = clustering
+        self.region_of = region_of
+        self.top_fraction = top_fraction
+
+    def regions_of_cluster(self, cluster_id: int) -> set[str]:
+        cluster = self.clustering.clusters[cluster_id]
+        return {self.region_of(ip) for ip in cluster.ips()}
+
+    def usage(self) -> RegionUsage:
+        clusters = self.clustering.clusters
+        if not clusters:
+            return RegionUsage(0.0, 0.0, {})
+        round_count = self.dataset.round_count
+        region_counts: dict[int, int] = {}
+        for cid in clusters:
+            region_counts[cid] = len(self.regions_of_cluster(cid))
+        single = sum(1 for count in region_counts.values() if count == 1)
+
+        ranked = sorted(
+            clusters.values(),
+            key=lambda c: c.average_size(round_count),
+            reverse=True,
+        )
+        top = ranked[: max(1, int(len(ranked) * self.top_fraction))]
+        top_multi = sum(1 for c in top if region_counts[c.cluster_id] > 1)
+
+        changes = self._region_changes()
+        total = len(clusters)
+        return RegionUsage(
+            single_region_share=single / total * 100.0,
+            top_multi_region_share=top_multi / len(top) * 100.0,
+            change_shares={
+                delta: count / total * 100.0
+                for delta, count in changes.items()
+            },
+        )
+
+    def _region_changes(self) -> dict[int, int]:
+        """Net region-count change per cluster between the first and
+        second half of its observed rounds."""
+        order = {rid: index for index, rid in enumerate(self.dataset.round_ids)}
+        changes: dict[int, int] = {}
+        for cid, cluster in self.clustering.clusters.items():
+            member_rounds = sorted(
+                {rid for _, rid in cluster.members}, key=order.get
+            )
+            if len(member_rounds) < 2:
+                changes[0] = changes.get(0, 0) + 1
+                continue
+            half = len(member_rounds) // 2
+            early = set(member_rounds[:half]) if half else {member_rounds[0]}
+            late = set(member_rounds[half:])
+            early_regions = {
+                self.region_of(ip) for ip, rid in cluster.members
+                if rid in early
+            }
+            late_regions = {
+                self.region_of(ip) for ip, rid in cluster.members
+                if rid in late
+            }
+            delta = len(late_regions) - len(early_regions)
+            changes[delta] = changes.get(delta, 0) + 1
+        return changes

@@ -1,0 +1,193 @@
+"""Cluster lifetime, uptime, and within-cluster IP churn (§8.1).
+
+Implements the paper's stability measures:
+
+* **cluster lifetime** — time between the first and last round the
+  cluster was available;
+* **cluster uptime** — fraction of its lifetime's rounds in which the
+  cluster was available;
+* **IP uptime** (per cluster) — rounds an IP was available and in the
+  cluster, over the rounds the cluster was available; its mean across a
+  cluster's IPs is the *average IP uptime*, the churn measure of
+  Figure 12;
+* the Table 15 columns for large clusters: per-round size statistics,
+  max IP departure, stable-IP share, regions used and VPC usage.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable
+
+from .clustering import Cluster, ClusteringResult
+from .dataset import Dataset
+
+__all__ = ["ClusterUsage", "UptimeAnalyzer"]
+
+
+@dataclass(frozen=True)
+class ClusterUsage:
+    """The Table 15 row for one cluster."""
+
+    cluster_id: int
+    title: str
+    total_ips: int
+    mean_size: float
+    median_size: float
+    min_size: int
+    max_size: int
+    avg_ip_uptime: float        # percent
+    max_ip_departure: float     # percent
+    stable_ip_share: float      # percent
+    lifetime_rounds: int
+    uptime: float               # percent
+    regions_used: int
+    mean_vpc_ips: float
+
+
+class UptimeAnalyzer:
+    """Uptime/churn measures for every final cluster."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        clustering: ClusteringResult,
+        *,
+        region_of: Callable[[int], str] | None = None,
+        kind_of: Callable[[int], str] | None = None,
+    ):
+        self.dataset = dataset
+        self.clustering = clustering
+        self._region_of = region_of
+        self._kind_of = kind_of
+        self._available: dict[tuple[int, int], bool] = {
+            (o.ip, o.round_id): o.available for o in dataset.observations()
+        }
+
+    # ------------------------------------------------------------------
+    # availability per cluster
+
+    def available_rounds(self, cluster: Cluster) -> list[int]:
+        """Rounds (ids, in order) in which ≥ 1 member IP was available."""
+        rounds = {
+            rid
+            for ip, rid in cluster.members
+            if self._available.get((ip, rid), False)
+        }
+        return [rid for rid in self.dataset.round_ids if rid in rounds]
+
+    def lifetime_window(self, cluster: Cluster) -> list[int]:
+        """All campaign rounds between first and last availability."""
+        available = self.available_rounds(cluster)
+        if not available:
+            return []
+        order = {rid: i for i, rid in enumerate(self.dataset.round_ids)}
+        first, last = order[available[0]], order[available[-1]]
+        return self.dataset.round_ids[first : last + 1]
+
+    def cluster_uptime(self, cluster: Cluster) -> float:
+        """Percent of lifetime rounds in which the cluster was available."""
+        window = self.lifetime_window(cluster)
+        if not window:
+            return 0.0
+        available = set(self.available_rounds(cluster))
+        return len(available) / len(window) * 100.0
+
+    # ------------------------------------------------------------------
+    # IP uptime (Figure 12)
+
+    def ip_uptimes(self, cluster: Cluster) -> dict[int, float]:
+        """Per-IP uptime (%) relative to the cluster's available rounds."""
+        available_rounds = set(self.available_rounds(cluster))
+        if not available_rounds:
+            return {}
+        per_ip: dict[int, int] = {}
+        for ip, rid in cluster.members:
+            if rid in available_rounds and self._available.get((ip, rid), False):
+                per_ip[ip] = per_ip.get(ip, 0) + 1
+        denominator = len(available_rounds)
+        return {
+            ip: count / denominator * 100.0 for ip, count in per_ip.items()
+        }
+
+    def average_ip_uptime(self, cluster: Cluster) -> float:
+        uptimes = self.ip_uptimes(cluster)
+        if not uptimes:
+            return 0.0
+        return sum(uptimes.values()) / len(uptimes)
+
+    def average_ip_uptime_distribution(
+        self, min_size: float = 2.0
+    ) -> list[float]:
+        """Average IP uptimes of all clusters with average size ≥
+        *min_size* — the CDF population of Figure 12."""
+        round_count = self.dataset.round_count
+        values = []
+        for cluster in self.clustering.clusters.values():
+            if cluster.average_size(round_count) >= min_size:
+                values.append(self.average_ip_uptime(cluster))
+        return sorted(values)
+
+    # ------------------------------------------------------------------
+    # Table 15
+
+    def usage_row(self, cluster: Cluster) -> ClusterUsage:
+        round_ids = self.dataset.round_ids
+        sizes = cluster.size_by_round(round_ids)
+        present_sizes = [s for s in sizes] or [0]
+        per_round_ips = {
+            rid: cluster.ips_in_round(rid) for rid in round_ids
+        }
+        max_departure = 0.0
+        for previous_rid, current_rid in zip(round_ids, round_ids[1:]):
+            current = per_round_ips[current_rid]
+            if not current:
+                continue
+            left = per_round_ips[previous_rid] - current
+            max_departure = max(max_departure, len(left) / len(current) * 100.0)
+        all_ips = cluster.ips()
+        rounds_with_members = [rid for rid in round_ids if per_round_ips[rid]]
+        stable = 0
+        if rounds_with_members:
+            stable = sum(
+                1
+                for ip in all_ips
+                if all(ip in per_round_ips[rid] for rid in rounds_with_members)
+            )
+        regions = set()
+        vpc_sizes = []
+        if self._region_of is not None:
+            regions = {self._region_of(ip) for ip in all_ips}
+        if self._kind_of is not None:
+            for rid in round_ids:
+                vpc_sizes.append(
+                    sum(1 for ip in per_round_ips[rid]
+                        if self._kind_of(ip) == "vpc")
+                )
+        return ClusterUsage(
+            cluster_id=cluster.cluster_id,
+            title=cluster.title,
+            total_ips=len(all_ips),
+            mean_size=sum(present_sizes) / len(present_sizes),
+            median_size=statistics.median(present_sizes),
+            min_size=min(present_sizes),
+            max_size=max(present_sizes),
+            avg_ip_uptime=self.average_ip_uptime(cluster),
+            max_ip_departure=max_departure,
+            stable_ip_share=(stable / len(all_ips) * 100.0) if all_ips else 0.0,
+            lifetime_rounds=len(self.lifetime_window(cluster)),
+            uptime=self.cluster_uptime(cluster),
+            regions_used=len(regions),
+            mean_vpc_ips=(sum(vpc_sizes) / len(vpc_sizes)) if vpc_sizes else 0.0,
+        )
+
+    def top_clusters(self, count: int = 10) -> list[ClusterUsage]:
+        """The *count* largest clusters by average size (Table 15)."""
+        round_count = self.dataset.round_count
+        ranked = sorted(
+            self.clustering.clusters.values(),
+            key=lambda c: c.average_size(round_count),
+            reverse=True,
+        )
+        return [self.usage_row(cluster) for cluster in ranked[:count]]

@@ -1,0 +1,198 @@
+"""Command-line interface: simulate, scan, report, lookup, aggregate.
+
+``python -m repro simulate`` runs a full measurement campaign against a
+simulated cloud and writes the round database to a sqlite file; the
+other subcommands analyse such a database (or one produced by a real
+``scan``).  The platform's politeness defaults apply to real scans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import (
+    Dataset,
+    DynamicsAnalyzer,
+    SoftwareCensus,
+    SshCensus,
+    WebpageClusterer,
+    build_aggregate_report,
+)
+from .cloudsim.addressing import ip_to_int
+from .core import MeasurementStore, SocketTransport, WhoWas
+from .workloads import Campaign, azure_scenario, ec2_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WhoWas: measure web deployments on IaaS clouds "
+                    "(IMC 2014 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a campaign against a simulated cloud"
+    )
+    simulate.add_argument("--cloud", choices=("ec2", "azure"), default="ec2")
+    simulate.add_argument("--ips", type=int, default=4096)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--days", type=int, default=None,
+                          help="campaign length (default: paper calendar)")
+    simulate.add_argument("--out", required=True,
+                          help="sqlite file for the round database")
+
+    scan = commands.add_parser(
+        "scan", help="scan real targets over the network (polite defaults)"
+    )
+    scan.add_argument("--targets", required=True,
+                      help="file with one IPv4 address per line")
+    scan.add_argument("--out", required=True)
+    scan.add_argument("--timestamp", type=int, default=0)
+
+    report = commands.add_parser(
+        "report", help="summarise a measurement database"
+    )
+    report.add_argument("db")
+    report.add_argument("--no-cluster", action="store_true",
+                        help="skip the clustering step")
+    report.add_argument("--export", metavar="DIR", default=None,
+                        help="also write per-figure CSV series to DIR")
+
+    lookup = commands.add_parser(
+        "lookup", help="history of one IP address (the WhoWas query)"
+    )
+    lookup.add_argument("db")
+    lookup.add_argument("ip")
+
+    aggregate = commands.add_parser(
+        "aggregate", help="privacy-preserving aggregate report (JSON)"
+    )
+    aggregate.add_argument("db")
+    aggregate.add_argument("--cloud", default="unknown")
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "simulate": _cmd_simulate,
+        "scan": _cmd_scan,
+        "report": _cmd_report,
+        "lookup": _cmd_lookup,
+        "aggregate": _cmd_aggregate,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_simulate(args) -> int:
+    builder = ec2_scenario if args.cloud == "ec2" else azure_scenario
+    kwargs = {"total_ips": args.ips, "seed": args.seed}
+    if args.days is not None:
+        kwargs["duration_days"] = args.days
+    scenario = builder(**kwargs)
+    print(f"simulating {scenario.name}: {len(scenario.targets)} IPs, "
+          f"{len(scenario.scan_days)} rounds")
+    store = MeasurementStore(args.out)
+    Campaign(scenario, store=store).run(progress=True)
+    print(f"round database written to {args.out}")
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    with open(args.targets) as handle:
+        targets = [ip_to_int(line.strip()) for line in handle if line.strip()]
+    if not targets:
+        print("no targets", file=sys.stderr)
+        return 1
+    store = MeasurementStore(args.out)
+    platform = WhoWas(SocketTransport(), store)
+    summary = platform.run_round(targets, timestamp=args.timestamp)
+    print(f"probed {len(targets)} targets: responsive={summary.responsive} "
+          f"available={summary.available}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    store = MeasurementStore(args.db)
+    dataset = Dataset.from_store(store)
+    if not dataset.rounds:
+        print("database holds no rounds", file=sys.stderr)
+        return 1
+    clustering = None
+    if not args.no_cluster:
+        clustering = WebpageClusterer().cluster(dataset)
+    dynamics = DynamicsAnalyzer(dataset, clustering)
+    print(f"rounds: {dataset.round_count}, "
+          f"targets probed: {dynamics.space_size()}")
+    for name, summary in dynamics.usage_summary().items():
+        print(f"  {name:<10} avg {summary.average:9.1f}  "
+              f"growth {summary.growth_pct:+.1f}%")
+    if dataset.round_count >= 2:
+        rates = dynamics.churn_rates()
+        print(f"churn: overall {rates.overall:.2f}%  "
+              f"responsiveness {rates.responsiveness:.2f}%  "
+              f"availability {rates.availability:.2f}%")
+    print("port profiles:", {
+        k: round(v, 1) for k, v in dynamics.port_profile_table().items()
+    })
+    print("status classes:", {
+        k: round(v, 1) for k, v in dynamics.status_code_table().items()
+    })
+    census = SoftwareCensus(dataset).report()
+    print("server families:", {
+        k: round(v, 1)
+        for k, v in list(census.server_family_shares.items())[:5]
+    })
+    ssh = SshCensus(dataset).report()
+    if ssh.banner_counts:
+        print("ssh products:", {
+            k: round(v, 1) for k, v in list(ssh.product_shares.items())[:3]
+        })
+    if clustering is not None:
+        print(f"clusters: {clustering.stats.final_clusters} final "
+              f"(threshold {clustering.threshold})")
+        if args.export:
+            from .analysis import FigureExporter
+
+            written = FigureExporter(dataset, clustering).export_all(
+                args.export
+            )
+            print(f"wrote {len(written)} CSV series to {args.export}")
+    return 0
+
+
+def _cmd_lookup(args) -> int:
+    store = MeasurementStore(args.db)
+    history = store.history(ip_to_int(args.ip))
+    if not history:
+        print(f"{args.ip}: never responsive")
+        return 0
+    for record in history:
+        features = record.features
+        title = features.title if features else "-"
+        server = features.server if features else "-"
+        print(f"day {record.timestamp:3d}  "
+              f"ports={','.join(str(p) for p in sorted(record.probe.open_ports)):<10} "
+              f"code={record.fetch.status_code}  server={server}  "
+              f"title={title!r}")
+    return 0
+
+
+def _cmd_aggregate(args) -> int:
+    store = MeasurementStore(args.db)
+    dataset = Dataset.from_store(store)
+    clustering = WebpageClusterer().cluster(dataset)
+    report = build_aggregate_report(args.cloud, dataset, clustering)
+    report.assert_private()
+    print(report.to_json())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

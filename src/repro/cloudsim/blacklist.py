@@ -1,0 +1,214 @@
+"""Blacklist service simulators: Google Safe Browsing and VirusTotal.
+
+The paper joins WhoWas data with two external detectors (§8.2):
+
+* the **Safe Browsing API** — URL in, status out ("phishing", "malware"
+  or "ok");
+* **VirusTotal** — IP in, a JSON report of per-engine detections out,
+  each with a timestamp and malicious URL; an IP is considered malicious
+  only when flagged by ≥ 2 engines (to limit false positives).
+
+Both simulators derive their knowledge from the cloud simulation's
+ground truth, through a detection-lag model: an engine notices a
+malicious page only some days after it goes live (Figure 19's lag
+distribution), and type-2 pages that blink in and out of existence take
+longer to catch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .services import ServiceSpec
+from .simulation import CloudSimulation
+
+__all__ = [
+    "SafeBrowsingSim",
+    "VirusTotalDetection",
+    "VirusTotalReport",
+    "VirusTotalSim",
+    "is_vt_visible",
+]
+
+
+def is_vt_visible(service: ServiceSpec) -> bool:
+    """Whether VirusTotal engines can ever flag this service's IPs."""
+    return service.malicious is not None and service.category in (
+        "web+vt",
+        "vt-hoster",
+    )
+
+
+def _url_live_days(service: ServiceSpec, horizon: int) -> dict[str, list[int]]:
+    """Days (absolute) on which each malicious URL is present."""
+    behavior = service.malicious
+    if behavior is None:
+        return {}
+    live: dict[str, list[int]] = {}
+    start = max(0, service.birth_day)
+    end = min(horizon, service.death_day if service.death_day is not None else horizon)
+    for day in range(start, end + 1):
+        for url in behavior.active_urls(service.day_in_life(day)):
+            live.setdefault(url, []).append(day)
+    return live
+
+
+class SafeBrowsingSim:
+    """URL blacklist with per-URL listing lag.
+
+    ``lookup(url, day)`` returns "phishing", "malware" or "ok" — the
+    shape of the Safe Browsing API response WhoWas queries for every URL
+    extracted from fetched pages.
+    """
+
+    def __init__(self, simulation: CloudSimulation, *, seed: int = 0,
+                 mean_lag_days: float = 2.0, coverage: float = 0.9):
+        self._rng = random.Random(seed ^ 0x5AFE)
+        self._listed: dict[str, tuple[str, int]] = {}  # url -> (category, day)
+        horizon = simulation.workload.duration_days
+        for service in simulation.services.values():
+            behavior = service.malicious
+            if behavior is None:
+                continue
+            for url, days in _url_live_days(service, horizon).items():
+                if not days or self._rng.random() > coverage:
+                    continue
+                lag = self._rng.expovariate(1.0 / mean_lag_days)
+                listed_day = days[0] + max(0, round(lag))
+                self._listed[url] = (behavior.category, listed_day)
+        self.lookup_count = 0
+
+    def lookup(self, url: str, day: int) -> str:
+        """Safe Browsing status of *url* as of *day*."""
+        self.lookup_count += 1
+        entry = self._listed.get(url)
+        if entry is None:
+            return "ok"
+        category, listed_day = entry
+        return category if day >= listed_day else "ok"
+
+    def listed_urls(self) -> dict[str, tuple[str, int]]:
+        """All URLs ever listed (for tests): url -> (category, day)."""
+        return dict(self._listed)
+
+
+@dataclass(frozen=True)
+class VirusTotalDetection:
+    """One engine's detection record inside a VirusTotal IP report."""
+
+    engine: str
+    day: int
+    url: str
+    category: str
+
+
+@dataclass(frozen=True)
+class VirusTotalReport:
+    """The (simplified) JSON report VirusTotal returns for one IP."""
+
+    ip: int
+    detections: tuple[VirusTotalDetection, ...] = ()
+    resolved_domains: tuple[str, ...] = ()
+
+    @property
+    def engines(self) -> set[str]:
+        return {d.engine for d in self.detections}
+
+    def is_malicious(self, min_engines: int = 2) -> bool:
+        """The ≥ 2-engine consensus rule of §8.2."""
+        return len(self.engines) >= min_engines
+
+    def first_detection_day(self) -> int | None:
+        return min((d.day for d in self.detections), default=None)
+
+    def last_detection_day(self) -> int | None:
+        return max((d.day for d in self.detections), default=None)
+
+
+class VirusTotalSim:
+    """Per-IP multi-engine detection reports with lag and false positives.
+
+    Reports are built lazily per IP from the simulation's deployment log:
+    every interval during which a VT-visible malicious service held the
+    IP can produce detections from several engines, each with its own
+    lag and coverage.  A small rate of single-engine false positives is
+    injected so the ≥ 2-engine consensus rule has work to do.
+    """
+
+    ENGINES = (
+        "DrWeb", "Fortinet", "Kaspersky", "Sophos", "Websense",
+        "BitDefender", "ESET", "Avira",
+    )
+
+    def __init__(self, simulation: CloudSimulation, *, seed: int = 0,
+                 engine_coverage: float = 0.55, mean_lag_days: float = 1.5,
+                 false_positive_rate: float = 0.001):
+        self._simulation = simulation
+        self._seed = seed
+        self._coverage = engine_coverage
+        self._mean_lag = mean_lag_days
+        self._fp_rate = false_positive_rate
+        self._horizon = simulation.workload.duration_days
+        self._live_days_cache: dict[int, dict[str, list[int]]] = {}
+        self.report_count = 0
+
+    def report(self, ip: int) -> VirusTotalReport:
+        """Fetch the report for one IP (deterministic per (seed, ip))."""
+        self.report_count += 1
+        rng = random.Random((self._seed << 32) ^ ip ^ 0x717B57)
+        detections: list[VirusTotalDetection] = []
+        domains: list[str] = []
+        for interval in self._simulation.log.intervals_for_ip(ip):
+            service = self._simulation.services[interval.service_id]
+            if not is_vt_visible(service):
+                continue
+            behavior = service.malicious
+            assert behavior is not None
+            live = self._live_days_for(service)
+            start = interval.start_day
+            end = interval.end_day if interval.end_day is not None else self._horizon
+            for url, days in live.items():
+                held_days = [d for d in days if start <= d < max(end, start + 1)]
+                if not held_days:
+                    continue
+                domains.append(url.split("/")[2])
+                for engine in self.ENGINES:
+                    if rng.random() > self._coverage:
+                        continue
+                    lag = max(0, round(rng.expovariate(1.0 / self._mean_lag)))
+                    detect_day = held_days[0] + lag
+                    # The engine only logs a detection while the content
+                    # is actually up on this IP.
+                    visible = [d for d in held_days if d >= detect_day]
+                    if not visible:
+                        continue
+                    detections.append(
+                        VirusTotalDetection(
+                            engine=engine,
+                            day=visible[0],
+                            url=url,
+                            category=behavior.category,
+                        )
+                    )
+        if not detections and rng.random() < self._fp_rate:
+            detections.append(
+                VirusTotalDetection(
+                    engine=rng.choice(self.ENGINES),
+                    day=rng.randrange(self._horizon),
+                    url="http://benign.example.com/",
+                    category="malware",
+                )
+            )
+        return VirusTotalReport(
+            ip=ip,
+            detections=tuple(sorted(detections, key=lambda d: d.day)),
+            resolved_domains=tuple(sorted(set(domains))),
+        )
+
+    def _live_days_for(self, service: ServiceSpec) -> dict[str, list[int]]:
+        cached = self._live_days_cache.get(service.service_id)
+        if cached is None:
+            cached = _url_live_days(service, self._horizon)
+            self._live_days_cache[service.service_id] = cached
+        return cached

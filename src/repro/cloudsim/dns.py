@@ -1,0 +1,110 @@
+"""Simulated EC2-style DNS with VPC/classic answer semantics (§5).
+
+The paper's cartography exploits an observable quirk of Amazon's DNS:
+resolving the EC2-style public hostname of an IP from *inside* the cloud
+
+* returns a **start-of-authority (SOA)** record when no instance is
+  active on the IP *and* the IP belongs to classic networking,
+* returns a **public IP** (in EC2's space) when the IP is used for VPC,
+* returns a **private IP** when a classic instance is active on it.
+
+:class:`CloudDns` reproduces exactly those semantics on top of the
+simulator's ground truth, so the cartography engine's decision rule can
+be exercised and validated.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .addressing import int_to_ip
+from .providers import NetKind, ProviderTopology
+from .simulation import CloudSimulation
+
+__all__ = ["DnsAnswer", "CloudDns", "public_hostname"]
+
+_HOSTNAME_RE = re.compile(
+    r"^ec2-(\d{1,3})-(\d{1,3})-(\d{1,3})-(\d{1,3})\.[-a-z0-9.]*amazonaws\.com$"
+)
+
+#: Base of the synthetic private address range answered for classic
+#: instances (maps the public IP 1:1 into 10.0.0.0/8).
+_PRIVATE_BASE = 10 << 24
+
+
+def public_hostname(ip: int, region_suffix: str = "compute-1") -> str:
+    """The EC2-style public DNS name of an address (§2)."""
+    dashed = int_to_ip(ip).replace(".", "-")
+    return f"ec2-{dashed}.{region_suffix}.amazonaws.com"
+
+
+@dataclass(frozen=True)
+class DnsAnswer:
+    """Result of one DNS query from inside the cloud."""
+
+    kind: str                   # "A" or "SOA"
+    address: int | None = None  # set for A answers
+
+    @property
+    def is_soa(self) -> bool:
+        return self.kind == "SOA"
+
+
+class CloudDns:
+    """Answers internal DNS queries for the simulated provider."""
+
+    def __init__(self, topology: ProviderTopology,
+                 simulation: CloudSimulation | None = None):
+        self._topology = topology
+        self._simulation = simulation
+        #: Query counter, for rate-limit auditing in tests.
+        self.query_count = 0
+
+    def resolve(self, hostname: str) -> DnsAnswer:
+        """Resolve an EC2-style public hostname from inside the cloud."""
+        self.query_count += 1
+        match = _HOSTNAME_RE.match(hostname.lower())
+        if match is None:
+            return DnsAnswer("SOA")
+        octets = [int(g) for g in match.groups()]
+        if any(o > 255 for o in octets):
+            return DnsAnswer("SOA")
+        ip = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        if ip not in self._topology.space:
+            return DnsAnswer("SOA")
+        kind = self._topology.kind_of(ip)
+        if kind == NetKind.VPC:
+            # VPC IPs always resolve to their public address (c.f. [32]).
+            return DnsAnswer("A", ip)
+        active = (
+            self._simulation is not None
+            and self._simulation.owner_of(ip) is not None
+        )
+        if not active:
+            # No instance on a classic IP: no DNS record -> SOA.
+            return DnsAnswer("SOA")
+        # Active classic instance: internal resolution yields the
+        # instance's private address (outside the provider's public space).
+        private = _PRIVATE_BASE | (ip & 0x00FFFFFF)
+        return DnsAnswer("A", private)
+
+    def in_public_space(self, address: int | None) -> bool:
+        """Whether an answer's address falls in the provider's space."""
+        return address is not None and address in self._topology.space
+
+    def resolve_domain(self, domain: str) -> list[int]:
+        """Active DNS interrogation of a *tenant* domain: the A records
+        (current public IPs) of the service operating it, or [] for
+        unknown or currently footprint-less domains.
+
+        This is the correlation source the paper's §9 lists as future
+        work ("correlate WhoWas data with ... active DNS").
+        """
+        self.query_count += 1
+        if self._simulation is None:
+            return []
+        service = self._simulation.service_for_domain(domain)
+        if service is None or not service.alive_on(self._simulation.day):
+            return []
+        return sorted(self._simulation.footprint(service.service_id))

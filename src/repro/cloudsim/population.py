@@ -1,0 +1,407 @@
+"""Service population synthesis: turning a workload spec into tenants.
+
+:class:`WorkloadSpec` captures, as explicit knobs, every distributional
+fact the paper reports about cloud tenants (Tables 3, 4, 11, 15; §8.1's
+size distribution and ephemeral share; §8.2's malicious mix), and
+:class:`PopulationBuilder` draws a concrete service population from it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .content import ContentFactory
+from .malicious import MaliciousUrlFactory
+from .services import (
+    Elasticity,
+    MaliciousBehavior,
+    PortProfile,
+    ServiceSpec,
+)
+from .software import SoftwareCatalog, WeightedChoice
+
+__all__ = ["GiantSpec", "WorkloadSpec", "PopulationBuilder"]
+
+
+@dataclass(frozen=True)
+class GiantSpec:
+    """An explicitly-configured very large deployment (Table 15 row)."""
+
+    category: str
+    mean_size: int
+    region_count: int
+    networking: str          # "classic", "vpc" or "mixed"
+    ip_turnover: float       # daily IP replacement probability
+    availability: float
+    elasticity: Elasticity = Elasticity.NOISY
+    #: Ports the deployment serves (giants are always web-facing).
+    port_profile: PortProfile = PortProfile.HTTP_ONLY
+    #: Optional pinned server family — §8.3 notes the largest PaaS runs
+    #: MochiWeb on every instance.
+    server_family: str = ""
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs describing one cloud's tenant population."""
+
+    cloud: str
+    #: Fraction of the address space occupied (responsive) at day 0;
+    #: Table 7 measured 23.7% (EC2) and 23.9% (Azure).
+    occupancy: float = 0.237
+    #: Campaign length in days (93 for EC2, 62 for Azure).
+    duration_days: int = 93
+    #: Fraction of clusters that are ephemeral (§8.1: 11.4% / 13.1%).
+    ephemeral_fraction: float = 0.114
+    #: New services per day, as a fraction of the initial population.
+    arrival_rate: float = 0.0011
+    #: Daily probability an ordinary service departs for good.
+    departure_rate: float = 0.0001
+    #: day -> fraction of alive services leaving permanently that day
+    #: (the Friday/Saturday dips of Figure 8).
+    departure_events: dict[int, float] = field(default_factory=dict)
+    #: Service footprint size distribution (§8.1 cluster sizes).
+    size_weights: tuple[tuple[tuple[int, int], float], ...] = (
+        ((1, 1), 78.8),
+        ((2, 20), 20.8),
+        ((21, 50), 0.28),
+        ((51, 300), 0.07),
+    )
+    #: Elasticity pattern mix (Table 11).
+    elasticity_weights: tuple[tuple[Elasticity, float], ...] = (
+        (Elasticity.STABLE, 50.0),
+        (Elasticity.STEP_UP, 15.0),
+        (Elasticity.STEP_DOWN, 13.7),
+        (Elasticity.BUMP, 5.2),
+        (Elasticity.DIP, 4.1),
+        (Elasticity.NOISY, 12.0),
+    )
+    #: HTTP status behaviour mix (Table 4 status-class shares).
+    status_weights: tuple[tuple[str, float], ...] = (
+        ("200", 64.7),
+        ("404", 22.0),
+        ("403", 6.0),
+        ("500", 5.0),
+        ("503", 2.2),
+    )
+    #: Of the "200" services, the fraction serving a stock default page
+    #: (these form the large clusters the cleaning step drops).
+    default_page_fraction: float = 0.05
+    #: Fraction of single-region services; §8.1: 97% use one region.
+    single_region_fraction: float = 0.97
+    #: Networking mix for clusters (EC2 §8.1: 72.9% classic-only,
+    #: 24.5% VPC-only, 2.6% mixed).  Ignored when VPC is unsupported.
+    networking_weights: tuple[tuple[str, float], ...] = (
+        ("classic", 72.9),
+        ("vpc", 24.5),
+        ("mixed", 2.6),
+    )
+    #: New arrivals prefer VPC (Amazon mandated VPC for new accounts;
+    #: Figure 14 shows classic-only clusters declining).
+    arrival_vpc_fraction: float = 0.75
+    #: Number of GSB-visible malicious services (pages embedding
+    #: malicious links) and VT-visible hosters.
+    malicious_embedders: int = 0
+    malicious_hosters: int = 0
+    linchpin_services: int = 0
+    #: Fraction of embedders that VirusTotal engines can also flag
+    #: (Azure sets 0.0 — the paper found no VT-flagged Azure IPs).
+    embedder_vt_fraction: float = 0.5
+    #: Explicit giant deployments (Table 15), already scaled.
+    giants: tuple[GiantSpec, ...] = ()
+    #: Share of tracker-using pages (drives Table 20 volumes).
+    tracker_share: float = 0.45
+
+
+class PopulationBuilder:
+    """Draws the initial service population and later arrivals."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        catalog: SoftwareCatalog,
+        port_profiles: WeightedChoice[PortProfile],
+        region_weights: list[tuple[str, float]],
+        supports_vpc: bool,
+        rng: random.Random,
+    ):
+        self.spec = spec
+        self._catalog = catalog
+        self._port_profiles = port_profiles
+        self._regions = WeightedChoice(region_weights)
+        self._region_names = [name for name, _ in region_weights]
+        self._supports_vpc = supports_vpc
+        self._rng = rng
+        self._content = ContentFactory(rng, tracker_share=spec.tracker_share)
+        self._malicious = MaliciousUrlFactory(rng)
+        self._sizes = WeightedChoice(list(spec.size_weights))
+        self._elasticities = WeightedChoice(list(spec.elasticity_weights))
+        self._statuses = WeightedChoice(list(spec.status_weights))
+        self._networkings = WeightedChoice(list(spec.networking_weights))
+        self._next_id = 1
+        #: Generic services are capped relative to the scaled population
+        #: (set in build_initial); the Table 15 tail is modelled by the
+        #: explicit giants, so an uncapped heavy tail would only add
+        #: scale-dependent variance.
+        self._max_size = 300
+
+    # ------------------------------------------------------------------
+    # population construction
+
+    def build_initial(self, target_ips: int) -> list[ServiceSpec]:
+        """Create services until their day-0 footprints cover roughly
+        *target_ips* addresses, then attach giants and malicious mix."""
+        services: list[ServiceSpec] = []
+        self._max_size = max(18, target_ips // 100)
+        giants = [self._make_giant(g) for g in self.spec.giants]
+        covered = sum(g.base_size for g in giants)
+        while covered < target_ips:
+            ephemeral = self._rng.random() < self.spec.ephemeral_fraction
+            if ephemeral:
+                birth_day = self._rng.randrange(
+                    0, max(1, self.spec.duration_days - 3)
+                )
+            else:
+                birth_day = -self._rng.randrange(1, 400)
+            service = self._make_service(birth_day=birth_day, ephemeral=ephemeral)
+            services.append(service)
+            if service.alive_on(0):
+                covered += service.base_size
+        services.extend(giants)
+        self._attach_malicious(services)
+        return services
+
+    def make_arrival(self, day: int) -> ServiceSpec:
+        """A service arriving mid-campaign (prefers VPC, Figure 14).
+
+        Arrivals start small — overwhelmingly single-instance tenants —
+        so cluster-count growth and IP growth stay in the paper's
+        few-percent band together."""
+        service = self._make_service(birth_day=day, ephemeral=False)
+        if self._rng.random() < 0.85:
+            service.base_size = 1
+        if self._supports_vpc and self._rng.random() < self.spec.arrival_vpc_fraction:
+            service.networking = "vpc"
+        return service
+
+    def arrivals_for_day(self, initial_count: int, rng: random.Random) -> int:
+        """Poisson-ish arrival count for one day."""
+        expected = self.spec.arrival_rate * initial_count
+        count = int(expected)
+        if rng.random() < expected - count:
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _sample_size(self) -> int:
+        low, high = self._sizes.sample(self._rng)
+        if low == high:
+            return low
+        if high > 50:
+            # Heavy tail: log-uniform across the giant range.
+            import math
+
+            log_low, log_high = math.log(low), math.log(high)
+            size = int(round(math.exp(self._rng.uniform(log_low, log_high))))
+        else:
+            size = self._rng.randint(low, high)
+        return min(size, self._max_size)
+
+    def _sample_regions(self, count: int | None = None) -> tuple[str, ...]:
+        if count is None:
+            count = 1 if self._rng.random() < self.spec.single_region_fraction else (
+                self._rng.randint(2, 3)
+            )
+        count = min(count, len(self._region_names))
+        chosen: list[str] = []
+        while len(chosen) < count:
+            region = self._regions.sample(self._rng)
+            if region not in chosen:
+                chosen.append(region)
+        return tuple(chosen)
+
+    def _sample_networking(self) -> str:
+        if not self._supports_vpc:
+            return "classic"
+        return self._networkings.sample(self._rng)
+
+    def _sample_turnover(self, size: int) -> float:
+        rng = self._rng
+        if size == 1:
+            # §8.1: 75.3% of clusters (the bulk singletons) show 100%
+            # average IP uptime.
+            return 0.0 if rng.random() < 0.92 else rng.uniform(0.005, 0.03)
+        if size <= 20:
+            # Figure 12: about half of size >= 2 clusters keep >= 90%
+            # average IP uptime, so churn is rare and gentle here.
+            return 0.0 if rng.random() < 0.7 else rng.uniform(0.001, 0.02)
+        # Larger clusters churn more (Figure 12's spread, Table 15).
+        return rng.uniform(0.01, 0.12)
+
+    def _make_service(self, birth_day: int, *, ephemeral: bool) -> ServiceSpec:
+        rng = self._rng
+        spec = self.spec
+        size = self._sample_size()
+        port_profile = self._port_profiles.sample(rng)
+        death_day = None
+        if ephemeral:
+            death_day = birth_day + rng.randint(1, 6)
+        elasticity = (
+            Elasticity.STABLE if ephemeral else self._elasticities.sample(rng)
+        )
+        profile = None
+        stack = None
+        category = "ssh"
+        if port_profile.serves_web:
+            stack = self._catalog.sample_stack(rng)
+            status = self._statuses.sample(rng)
+            default_family = ""
+            if status == "200" and rng.random() < spec.default_page_fraction:
+                default_family = stack.server_family or "Apache"
+                category = "default"
+            else:
+                category = "web"
+            profile = self._content.make_profile(
+                template=stack.template,
+                status_behavior=status,
+                default_family=default_family,
+            )
+        duration = spec.duration_days
+        step_day = rng.randint(duration // 6, 2 * duration // 3)
+        if elasticity is Elasticity.DIP:
+            # Table 11 reads 0,-1,1,0 as a drop immediately followed by
+            # recovery (short-term unavailability), so dips are short.
+            step2_day = step_day + rng.randint(3, 8)
+        else:
+            step2_day = rng.randint(
+                step_day + max(7, duration // 10), duration + 7
+            )
+        step_factor = rng.uniform(1.3, 1.9)
+        ssh_banner = ""
+        if 22 in port_profile.open_ports:
+            from .software import SSH_BANNERS
+
+            ssh_banner = SSH_BANNERS.sample(rng)
+        service = ServiceSpec(
+            service_id=self._next_id,
+            cloud=spec.cloud,
+            category=category,
+            regions=self._sample_regions(),
+            networking=self._sample_networking(),
+            base_size=size,
+            elasticity=elasticity,
+            birth_day=birth_day,
+            death_day=death_day,
+            port_profile=port_profile,
+            profile=profile,
+            stack=stack,
+            availability=0.998 if rng.random() < 0.9 else rng.uniform(0.95, 0.995),
+            ip_turnover=self._sample_turnover(size),
+            revision_rate=rng.choice([0.0, 0.0, 0.01, 0.03]),
+            redesign_rate=0.0 if rng.random() < 0.97 else 0.002,
+            ssh_banner=ssh_banner,
+            step_day=step_day,
+            step2_day=step2_day,
+            step_factor=step_factor,
+        )
+        self._next_id += 1
+        return service
+
+    def _make_giant(self, giant: GiantSpec) -> ServiceSpec:
+        rng = self._rng
+        if giant.server_family:
+            stack = self._catalog.sample_stack_for_family(
+                rng, giant.server_family
+            )
+        else:
+            stack = self._catalog.sample_stack(rng)
+        profile = self._content.make_profile(template=stack.template)
+        duration = self.spec.duration_days
+        service = ServiceSpec(
+            service_id=self._next_id,
+            cloud=self.spec.cloud,
+            category=giant.category,
+            regions=self._sample_regions(giant.region_count),
+            networking=giant.networking,
+            base_size=giant.mean_size,
+            elasticity=giant.elasticity,
+            birth_day=-400,
+            death_day=None,
+            port_profile=giant.port_profile,
+            profile=profile,
+            stack=stack,
+            availability=giant.availability,
+            ip_turnover=giant.ip_turnover,
+            revision_rate=0.01,
+            redesign_rate=0.0,
+            step_day=rng.randint(max(1, duration // 4), max(2, duration // 2)),
+            step2_day=max(3, duration // 2) + rng.randint(3, max(4, duration // 3)),
+            step_factor=rng.uniform(1.3, 2.0),
+        )
+        self._next_id += 1
+        return service
+
+    def _attach_malicious(self, services: list[ServiceSpec]) -> None:
+        """Flag services as malicious per the §8.2 mix."""
+        rng = self._rng
+        spec = self.spec
+        web_services = [
+            s for s in services
+            if s.category == "web" and s.profile is not None
+            and s.profile.status_code == 200 and s.base_size <= 10
+            # The malicious page must actually be observable: a live,
+            # fetchable HTML page (not ephemeral, robots-allowed).
+            and s.death_day is None
+            and s.profile.content_type == "text/html"
+            and not s.profile.robots_disallow
+        ]
+        rng.shuffle(web_services)
+        index = 0
+        for _ in range(min(spec.malicious_embedders, len(web_services) - index)):
+            service = web_services[index]
+            index += 1
+            behavior = self._malicious.make_behavior()
+            behavior = self._with_removal(behavior)
+            service.malicious = behavior
+            if rng.random() < spec.embedder_vt_fraction:
+                service.category = "web+vt"   # also VT-visible
+        for _ in range(min(spec.linchpin_services, len(web_services) - index)):
+            service = web_services[index]
+            index += 1
+            service.malicious = self._malicious.make_behavior(linchpin=True)
+            service.category = "web+vt"
+        hosters = [
+            s for s in services
+            if s.category == "web" and s.malicious is None
+            and s.base_size <= 6 and s.death_day is None
+        ]
+        rng.shuffle(hosters)
+        for service in hosters[: spec.malicious_hosters]:
+            import dataclasses
+
+            service.category = "vt-hoster"
+            behavior = self._malicious.make_behavior()
+            service.malicious = dataclasses.replace(behavior, on_page=False)
+            # Hosters often churn IPs to evade blacklists, spreading
+            # detections across many addresses (Table 17's growth).
+            if service.ip_turnover == 0.0 and rng.random() < 0.5:
+                service.ip_turnover = rng.uniform(0.01, 0.08)
+
+    def _with_removal(self, behavior: MaliciousBehavior) -> MaliciousBehavior:
+        """Sample the cleanup day relative to first detection (§8.2:
+        most type 1/3 pages are removed after last detection; only ~40%
+        of type 2 ever are)."""
+        import dataclasses
+
+        rng = self._rng
+        if behavior.kind == 2:
+            removed = rng.random() < 0.4
+        else:
+            removed = rng.random() < 0.8
+        if not removed:
+            return behavior
+        removal = rng.randint(5, 40)
+        return dataclasses.replace(behavior, removal_day_in_life=removal)

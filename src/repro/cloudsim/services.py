@@ -1,0 +1,219 @@
+"""Tenant service model: footprints, elasticity, lifecycle, churn.
+
+A *service* is the simulator's ground-truth unit of ownership — the thing
+WhoWas's clustering tries to recover from page content.  Each service has
+a footprint (how many public IPs it holds each day), an elasticity
+pattern (how that footprint evolves — these generate the size-change
+patterns of Table 11), a lifecycle (birth/death days; ~11-13% of clusters
+are ephemeral), per-day availability, and an IP turnover rate (churn
+within the cluster, Figure 12 / Table 15).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from .content import ContentProfile
+from .software import SoftwareStack, WeightedChoice
+
+__all__ = [
+    "Elasticity",
+    "PortProfile",
+    "MaliciousBehavior",
+    "ServiceSpec",
+    "target_size",
+    "PORT_PROFILES_EC2",
+    "PORT_PROFILES_AZURE",
+]
+
+
+class Elasticity(enum.Enum):
+    """Footprint evolution archetypes; names follow Table 11's tendency
+    vectors (0 = flat, 1 = grow, -1 = shrink)."""
+
+    STABLE = "0"
+    STEP_UP = "0,1,0"
+    STEP_DOWN = "0,-1,0"
+    BUMP = "0,1,0,-1,0"
+    DIP = "0,-1,1,0"
+    NOISY = "noisy"
+
+
+class PortProfile(enum.Enum):
+    """Which of the three probed ports a service keeps open (Table 3)."""
+
+    SSH_ONLY = "22-only"
+    HTTP_ONLY = "80-only"
+    HTTPS_ONLY = "443-only"
+    BOTH = "80&443"
+
+    @property
+    def open_ports(self) -> frozenset[int]:
+        return _PORTS_BY_PROFILE[self]
+
+    @property
+    def serves_web(self) -> bool:
+        return self is not PortProfile.SSH_ONLY
+
+
+_PORTS_BY_PROFILE = {
+    PortProfile.SSH_ONLY: frozenset({22}),
+    PortProfile.HTTP_ONLY: frozenset({80, 22}),
+    PortProfile.HTTPS_ONLY: frozenset({443}),
+    PortProfile.BOTH: frozenset({80, 443}),
+}
+
+#: Port-profile mix per cloud, weights from Table 3.
+PORT_PROFILES_EC2 = WeightedChoice(
+    [
+        (PortProfile.SSH_ONLY, 25.9),
+        (PortProfile.HTTP_ONLY, 38.0),
+        (PortProfile.HTTPS_ONLY, 5.5),
+        (PortProfile.BOTH, 30.6),
+    ]
+)
+PORT_PROFILES_AZURE = WeightedChoice(
+    [
+        (PortProfile.SSH_ONLY, 9.3),
+        (PortProfile.HTTP_ONLY, 45.8),
+        (PortProfile.HTTPS_ONLY, 16.5),
+        (PortProfile.BOTH, 28.4),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class MaliciousBehavior:
+    """Malicious-content behaviour observed in §8.2.
+
+    ``kind`` selects one of the three behaviours: type 1 hosts the same
+    malicious page throughout, type 2 has the page appear and disappear
+    repeatedly, type 3 rotates through several distinct malicious pages.
+    """
+
+    kind: int                       # 1, 2 or 3
+    category: str                   # "malware" or "phishing"
+    urls: tuple[str, ...]           # malicious URLs embedded in the page
+    #: For type 2: period (days) of the appear/disappear cycle.
+    toggle_period: int = 7
+    #: For type 3: day length of each distinct malicious page.
+    rotation_period: int = 14
+    #: Linchpin pages aggregate many malicious URLs (§8.2).
+    linchpin: bool = False
+    #: Day of life on which the tenant cleans the page up (None = never).
+    removal_day_in_life: int | None = None
+    #: Whether the malicious URLs appear on the top-level page (visible
+    #: to the Safe Browsing link analysis).  VT-only hosters serve their
+    #: payloads at deep paths the fetcher never visits.
+    on_page: bool = True
+
+    def active_urls(self, day_in_life: int) -> tuple[str, ...]:
+        """Malicious URLs present in the page on a given day of life."""
+        if not self.urls:
+            return ()
+        if (
+            self.removal_day_in_life is not None
+            and day_in_life >= self.removal_day_in_life
+        ):
+            return ()
+        if self.kind == 1:
+            return self.urls
+        if self.kind == 2:
+            phase = (day_in_life // max(1, self.toggle_period)) % 2
+            return self.urls if phase == 0 else ()
+        # Type 3: rotate through the URL list in chunks.
+        chunk = max(1, len(self.urls) // 3)
+        start = (day_in_life // max(1, self.rotation_period)) * chunk
+        start %= len(self.urls)
+        return self.urls[start : start + chunk] or self.urls[:chunk]
+
+
+@dataclass
+class ServiceSpec:
+    """One simulated tenant web service (a ground-truth cluster)."""
+
+    service_id: int
+    cloud: str
+    category: str                  # "web", "ssh", "paas", "default", ...
+    regions: tuple[str, ...]
+    networking: str                # "classic", "vpc" or "mixed"
+    base_size: int
+    elasticity: Elasticity
+    birth_day: int
+    death_day: int | None          # None = survives past the campaign
+    port_profile: PortProfile
+    profile: ContentProfile | None   # None for SSH-only services
+    stack: SoftwareStack | None
+    #: Daily probability every IP answers HTTP (service-level dips drive
+    #: the availability churn of Figure 9/10).
+    availability: float = 0.995
+    #: Daily probability that any given held IP is swapped for a fresh one.
+    ip_turnover: float = 0.0
+    #: Daily probability of a minor content revision (simhash moves ≤3 bits).
+    revision_rate: float = 0.02
+    #: Daily probability of a full redesign (new major version → new cluster).
+    redesign_rate: float = 0.0
+    #: SSH banner served on port 22 ("" if port 22 is closed).
+    ssh_banner: str = ""
+    #: Elasticity shape parameters, resolved at build time.
+    step_day: int = 30
+    step2_day: int = 60
+    step_factor: float = 2.0
+    malicious: MaliciousBehavior | None = None
+    #: Filled by the simulation as content evolves.
+    major_version: int = field(default=0, compare=False)
+    revision: int = field(default=0, compare=False)
+
+    def alive_on(self, day: int) -> bool:
+        if day < self.birth_day:
+            return False
+        return self.death_day is None or day < self.death_day
+
+    def day_in_life(self, day: int) -> int:
+        return day - self.birth_day
+
+    @property
+    def serves_web(self) -> bool:
+        return self.port_profile.serves_web and self.profile is not None
+
+
+def target_size(spec: ServiceSpec, day: int,
+                rng: random.Random | None = None) -> int:
+    """Footprint (number of IPs) the service wants on *day*.
+
+    Fully deterministic: :attr:`Elasticity.NOISY` jitter is derived from
+    a stable hash of (service, week), so the footprint moves weekly and
+    repeated queries within a day agree.  *rng* is accepted for
+    signature compatibility and ignored.
+    """
+    del rng
+    if not spec.alive_on(day):
+        return 0
+    base = spec.base_size
+    # Step deltas are symmetric and capped so that, with Table 11's
+    # nearly-equal grow/shrink pattern weights, heavy-tailed size draws
+    # cannot skew the cloud's aggregate footprint noticeably.
+    delta = max(1, min(3, round(base * (spec.step_factor - 1.0))))
+    grown = base + delta
+    shrunk = max(0, base - delta)
+    kind = spec.elasticity
+    if kind is Elasticity.STABLE:
+        return base
+    if kind is Elasticity.STEP_UP:
+        return grown if day >= spec.step_day else base
+    if kind is Elasticity.STEP_DOWN:
+        if day < spec.step_day:
+            return base
+        # Singletons stepping down go to zero IPs — the cluster winds
+        # down but is still counted by its earlier rounds.
+        return shrunk
+    if kind is Elasticity.BUMP:
+        return grown if spec.step_day <= day < spec.step2_day else base
+    if kind is Elasticity.DIP:
+        return shrunk if spec.step_day <= day < spec.step2_day else base
+    # NOISY: a bounded weekly random walk around the base size.
+    week_rng = random.Random(spec.service_id * 65_537 + (day // 7))
+    jitter = week_rng.gauss(0, max(1.0, base * 0.2))
+    return max(1, int(round(base + jitter)))

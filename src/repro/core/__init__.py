@@ -1,0 +1,60 @@
+"""The WhoWas platform core: scanner, fetcher, features, store.
+
+This is the paper's primary contribution (§4): a pipeline that probes
+cloud IP ranges, fetches top-level pages, extracts content features and
+persists per-round records behind a programmatic lookup API.
+"""
+
+from .config import FetchConfig, PlatformConfig, ScanConfig
+from .crawler import Crawler, CrawlResult
+from .features import FeatureExtractor, extract_internal_links, extract_links
+from .fetcher import Fetcher, parse_robots
+from .platform import RoundSummary, WhoWas
+from .records import (
+    UNKNOWN,
+    FetchResult,
+    FetchStatus,
+    PageFeatures,
+    Port,
+    ProbeOutcome,
+    ProbeStatus,
+    RoundRecord,
+)
+from .scanner import RateLimiter, Scanner
+from .simhash import HASH_BITS, hamming_distance, simhash
+from .store import MeasurementStore, RoundInfo
+from .transport import HttpResponse, SocketTransport, Transport, TransportError
+
+__all__ = [
+    "FetchConfig",
+    "PlatformConfig",
+    "ScanConfig",
+    "Crawler",
+    "CrawlResult",
+    "FeatureExtractor",
+    "extract_internal_links",
+    "extract_links",
+    "Fetcher",
+    "parse_robots",
+    "RoundSummary",
+    "WhoWas",
+    "UNKNOWN",
+    "FetchResult",
+    "FetchStatus",
+    "PageFeatures",
+    "Port",
+    "ProbeOutcome",
+    "ProbeStatus",
+    "RoundRecord",
+    "RateLimiter",
+    "Scanner",
+    "HASH_BITS",
+    "hamming_distance",
+    "simhash",
+    "MeasurementStore",
+    "RoundInfo",
+    "HttpResponse",
+    "SocketTransport",
+    "Transport",
+    "TransportError",
+]

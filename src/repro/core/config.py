@@ -1,0 +1,106 @@
+"""Configuration for the WhoWas platform components.
+
+Defaults follow §4 and §6 of the paper: 2-second probe timeouts with no
+retries, a global scan rate of 250 probes per second, at most three probes
+per IP per day (80/tcp, 443/tcp, 22/tcp), a 250-worker fetch pool with a
+10-second HTTP timeout, 512 KB text-content cap, and a research-note
+User-Agent string carrying a contact address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ScanConfig", "FetchConfig", "PlatformConfig"]
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Scanner parameters (§4)."""
+
+    #: Seconds before a SYN probe is declared failed.  The paper evaluated
+    #: 8 s and found only +0.61% responsiveness, settling on 2 s.
+    probe_timeout: float = 2.0
+    #: Global probe rate limit in probes per second.  Deliberately far
+    #: below prior Internet-wide scanners (1,000-1.4M pps) to stay polite.
+    probes_per_second: float = 250.0
+    #: Probes are never retried — minimises interaction with tenants.
+    retries: int = 0
+    #: Ports probed, in order.  80 then 443; 22 only if both failed.
+    web_ports: tuple[int, ...] = (80, 443)
+    fallback_ports: tuple[int, ...] = (22,)
+    #: Maximum concurrent in-flight probes.
+    concurrency: int = 256
+
+    def __post_init__(self) -> None:
+        if self.probe_timeout <= 0:
+            raise ValueError("probe_timeout must be positive")
+        if self.probes_per_second <= 0:
+            raise ValueError("probes_per_second must be positive")
+        if self.concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+
+
+@dataclass(frozen=True)
+class FetchConfig:
+    """Fetcher parameters (§4, §6)."""
+
+    #: Number of fetch workers in the pool (paper default: 250).
+    workers: int = 250
+    #: HTTP(S) connection timeout in seconds (paper default: 10).
+    timeout: float = 10.0
+    #: Only the first this-many bytes of text content are stored (512 KB).
+    max_body_bytes: int = 512 * 1024
+    #: Content-type prefixes that are never downloaded (§4).
+    skip_content_prefixes: tuple[str, ...] = (
+        "application/",
+        "audio/",
+        "image/",
+        "video/",
+    )
+    #: Text content types that *are* downloaded despite the prefix rule
+    #: (Table 5 shows application/json and application/xml being stored).
+    text_content_types: tuple[str, ...] = (
+        "application/json",
+        "application/xml",
+        "application/xhtml+xml",
+    )
+    #: Research-note User-Agent per the ethics discussion (§7).
+    user_agent: str = (
+        "WhoWas-research-scanner/1.0 "
+        "(measurement study; contact research-scan (at) example.org "
+        "to opt out)"
+    )
+    #: Honour robots.txt disallow rules for the top-level page (§7).
+    respect_robots: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_body_bytes <= 0:
+            raise ValueError("max_body_bytes must be positive")
+
+    def should_download(self, content_type: str) -> bool:
+        """Return True if a body with this content type may be stored."""
+        content_type = content_type.split(";")[0].strip().lower()
+        if not content_type:
+            return True
+        if content_type in self.text_content_types:
+            return True
+        return not content_type.startswith(self.skip_content_prefixes)
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Top-level WhoWas configuration."""
+
+    scan: ScanConfig = field(default_factory=ScanConfig)
+    fetch: FetchConfig = field(default_factory=FetchConfig)
+    #: IPs that must never be probed (tenant opt-outs; §4, §7).
+    blacklist: frozenset[int] = frozenset()
+    #: Also read the SSH banner from IPs with port 22 open (one extra
+    #: connection per such IP per round) — the paper's non-web-services
+    #: extension.  Off by default to keep the original probe budget.
+    grab_ssh_banners: bool = False

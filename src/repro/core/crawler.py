@@ -1,0 +1,139 @@
+"""Depth-limited site crawler — the paper's §9 "deeper crawling"
+extension.
+
+WhoWas's fetcher deliberately stops at the top-level page (§4).  The
+authors list "deeper crawling of websites by following links in HTML"
+as future work; :class:`Crawler` implements it conservatively: starting
+from a fetched home page it follows *same-host* links only, breadth
+first, to a configurable depth and page budget, re-using the fetcher's
+robots handling, content-type gating and body cap.  External links are
+never followed and active content is never executed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .config import FetchConfig
+from .features import extract_internal_links
+from .fetcher import Fetcher
+from .records import FetchResult, FetchStatus, ProbeOutcome
+from .transport import Transport, TransportError
+
+__all__ = ["CrawlResult", "Crawler"]
+
+
+@dataclass(frozen=True)
+class CrawlResult:
+    """All pages fetched from one IP, keyed by path."""
+
+    ip: int
+    pages: dict[str, FetchResult] = field(default_factory=dict)
+
+    @property
+    def root(self) -> FetchResult | None:
+        return self.pages.get("/")
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    def combined_text(self) -> str:
+        """Concatenated bodies — richer input for content clustering."""
+        return "\n".join(
+            result.body for _, result in sorted(self.pages.items())
+            if result.body
+        )
+
+
+class Crawler:
+    """Breadth-first, same-host crawler on top of the fetcher."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        config: FetchConfig | None = None,
+        *,
+        max_depth: int = 1,
+        max_pages: int = 5,
+    ):
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if max_pages < 1:
+            raise ValueError("max_pages must be at least 1")
+        self.config = config or FetchConfig()
+        self.fetcher = Fetcher(transport, self.config)
+        self.transport = transport
+        self.max_depth = max_depth
+        self.max_pages = max_pages
+
+    async def crawl_ip(self, outcome: ProbeOutcome) -> CrawlResult:
+        """Crawl one IP: home page first, then linked internal paths."""
+        root = await self.fetcher.fetch_ip(outcome)
+        pages: dict[str, FetchResult] = {"/": root}
+        if root.status is not FetchStatus.OK or not root.body:
+            return CrawlResult(outcome.ip, pages)
+        scheme = outcome.scheme or "http"
+        frontier = extract_internal_links(root.body)
+        depth = 1
+        while frontier and depth <= self.max_depth and \
+                len(pages) < self.max_pages:
+            next_frontier: list[str] = []
+            for path in frontier:
+                if len(pages) >= self.max_pages:
+                    break
+                if path in pages:
+                    continue
+                result = await self._fetch_path(outcome.ip, scheme, path)
+                pages[path] = result
+                if result.body:
+                    next_frontier.extend(
+                        p for p in extract_internal_links(result.body)
+                        if p not in pages
+                    )
+            frontier = next_frontier
+            depth += 1
+        return CrawlResult(outcome.ip, pages)
+
+    async def crawl(self, outcomes: Sequence[ProbeOutcome]) -> list[CrawlResult]:
+        semaphore = asyncio.Semaphore(self.config.workers)
+
+        async def bounded(outcome: ProbeOutcome) -> CrawlResult:
+            async with semaphore:
+                return await self.crawl_ip(outcome)
+
+        return list(await asyncio.gather(*(bounded(o) for o in outcomes)))
+
+    def crawl_sync(self, outcomes: Sequence[ProbeOutcome]) -> list[CrawlResult]:
+        return asyncio.run(self.crawl(outcomes))
+
+    async def _fetch_path(self, ip: int, scheme: str, path: str) -> FetchResult:
+        try:
+            response = await self.transport.get(
+                ip,
+                scheme,
+                path,
+                timeout=self.config.timeout,
+                max_body=self.config.max_body_bytes,
+                headers={"User-Agent": self.config.user_agent},
+            )
+        except TransportError as exc:
+            return FetchResult(
+                ip=ip, status=FetchStatus.ERROR,
+                url=f"{scheme}://{ip}{path}", error=str(exc),
+            )
+        body = None
+        if self.config.should_download(response.content_type):
+            body = response.body[: self.config.max_body_bytes].decode(
+                "utf-8", errors="replace"
+            )
+        return FetchResult(
+            ip=ip,
+            status=FetchStatus.OK,
+            url=f"{scheme}://{ip}{path}",
+            status_code=response.status_code,
+            headers=dict(response.headers),
+            body=body,
+        )

@@ -1,0 +1,168 @@
+"""Feature extraction from fetched pages (§4).
+
+After each round of scanning, WhoWas extracts ten features per
+successfully fetched page and inserts them into the database:
+
+1. back-end technology ("x-powered-by" response header),
+2. page description (``<meta name="description">``),
+3. the sorted, '#'-joined string of all response-header names,
+4. length of the returned HTML,
+5. the ``<title>`` string,
+6. the web template (``<meta name="generator">``: Joomla!, WordPress…),
+7. the server type ("Server" response header),
+8. the keywords meta tag,
+9. any Google Analytics ID found in the HTML,
+10. a 96-bit simhash over the HTML.
+
+Missing entries are recorded as ``"unknown"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from .records import UNKNOWN, FetchResult, PageFeatures
+from .simhash import simhash as compute_simhash
+
+__all__ = ["FeatureExtractor", "extract_links", "extract_internal_links",
+           "extract_domains", "GA_ID_RE"]
+
+_TITLE_RE = re.compile(r"<title[^>]*>(.*?)</title>", re.IGNORECASE | re.DOTALL)
+
+_META_RE = re.compile(
+    r"<meta\s+[^>]*name=[\"'](?P<name>description|keywords|generator)[\"']"
+    r"[^>]*content=[\"'](?P<content>[^\"']*)[\"']",
+    re.IGNORECASE,
+)
+
+#: Google Analytics account IDs: UA-<account>-<profile> (§8.3).
+GA_ID_RE = re.compile(r"\bUA-(\d{4,10})-(\d{1,4})\b")
+
+_LINK_RE = re.compile(r"""<a\s+[^>]*href=["']([^"'#]+)["']""", re.IGNORECASE)
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def _clean(text: str) -> str:
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def extract_links(html: str) -> list[str]:
+    """All absolute http(s) URLs linked from the page (used by the
+    Safe Browsing analysis, which queries every extracted URL)."""
+    links = []
+    for match in _LINK_RE.finditer(html):
+        url = match.group(1).strip()
+        if url.startswith(("http://", "https://")):
+            links.append(url)
+    return links
+
+
+_DOMAIN_RE = re.compile(
+    r"\b((?:[a-z0-9-]+\.)+(?:com|org|net|info|biz|io|co|cn|ru))\b",
+    re.IGNORECASE,
+)
+
+
+def extract_domains(html: str) -> list[str]:
+    """Candidate domain names appearing anywhere in the page, in order
+    without duplicates.  Virtual-host 404 pages often leak the intended
+    site's domain (§4's second limitation notes WhoWas can sometimes
+    recover ownership this way); active DNS then confirms it."""
+    seen: list[str] = []
+    for match in _DOMAIN_RE.finditer(html):
+        domain = match.group(1).lower()
+        if domain not in seen:
+            seen.append(domain)
+    return seen
+
+
+def extract_internal_links(html: str) -> list[str]:
+    """Same-host paths linked from the page ("/about"), in document
+    order without duplicates — what the deep crawler follows."""
+    seen: list[str] = []
+    for match in _LINK_RE.finditer(html):
+        url = match.group(1).strip()
+        if url.startswith("/") and not url.startswith("//") and url not in seen:
+            seen.append(url)
+    return seen
+
+
+class FeatureExtractor:
+    """Computes :class:`PageFeatures` for fetched pages.
+
+    Simhash computation dominates extraction cost, so fingerprints are
+    memoised by body identity — rounds overwhelmingly refetch unchanged
+    pages (the paper's churn is ~3% per round).
+    """
+
+    def __init__(self, *, memoize: bool = True):
+        self._memoize = memoize
+        self._simhash_cache: dict[int, int] = {}
+
+    def extract(self, fetch: FetchResult) -> PageFeatures:
+        """Features for one fetch; empty/non-text bodies yield defaults."""
+        headers = fetch.headers
+        body = fetch.body or ""
+        title = UNKNOWN
+        description = UNKNOWN
+        keywords = UNKNOWN
+        template = UNKNOWN
+        analytics_id = UNKNOWN
+        if body:
+            match = _TITLE_RE.search(body)
+            if match:
+                title = _clean(match.group(1)) or UNKNOWN
+            for meta in _META_RE.finditer(body):
+                name = meta.group("name").lower()
+                content = _clean(meta.group("content"))
+                if not content:
+                    continue
+                if name == "description":
+                    description = content
+                elif name == "keywords":
+                    keywords = content
+                elif name == "generator":
+                    template = content
+            ga_match = GA_ID_RE.search(body)
+            if ga_match:
+                analytics_id = ga_match.group(0)
+        return PageFeatures(
+            powered_by=self._header(headers, "x-powered-by"),
+            description=description,
+            header_string=self._header_string(headers),
+            html_length=len(body),
+            title=title,
+            template=template,
+            server=self._header(headers, "server"),
+            keywords=keywords,
+            analytics_id=analytics_id,
+            simhash=self._simhash(body),
+        )
+
+    def _simhash(self, body: str) -> int:
+        if not body:
+            return 0
+        if not self._memoize:
+            return compute_simhash(body)
+        key = hash(body)
+        cached = self._simhash_cache.get(key)
+        if cached is None:
+            cached = compute_simhash(body)
+            self._simhash_cache[key] = cached
+        return cached
+
+    @staticmethod
+    def _header(headers: Mapping[str, str], name: str) -> str:
+        for key, value in headers.items():
+            if key.lower() == name:
+                return value or UNKNOWN
+        return UNKNOWN
+
+    @staticmethod
+    def _header_string(headers: Mapping[str, str]) -> str:
+        """Feature (3): all header field names, sorted, '#'-separated."""
+        if not headers:
+            return UNKNOWN
+        return "#".join(sorted(key.lower() for key in headers))

@@ -1,0 +1,133 @@
+"""The WhoWas webpage fetcher (§4).
+
+For every IP the scanner reported with port 80 or 443 open, a worker
+from the pool issues at most two GET requests: first ``/robots.txt``,
+then — unless robots forbids it — the top-level page.  The fetcher
+records the status code, response headers and any error; text bodies are
+stored up to 512 KB, while "application/*", "audio/*", "image/*" and
+"video/*" bodies are never downloaded (the analysis engine cannot
+process non-text data).  Links are never followed and active content is
+never executed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+from .config import FetchConfig
+from .records import FetchResult, FetchStatus, ProbeOutcome
+from .transport import HttpResponse, Transport, TransportError
+
+__all__ = ["parse_robots", "Fetcher"]
+
+
+def parse_robots(body: str, user_agent: str = "*") -> bool:
+    """Return True if robots.txt allows fetching the top-level page.
+
+    Minimal robots-exclusion parser: honours ``Disallow`` rules in the
+    ``*`` group and in any group whose agent token appears in our
+    User-Agent string.  A disallow of ``/`` (or a prefix of it) blocks
+    the root fetch.
+    """
+    agent_lower = user_agent.lower()
+    applies = False
+    for raw_line in body.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or ":" not in line:
+            continue
+        field, _, value = line.partition(":")
+        field = field.strip().lower()
+        value = value.strip()
+        if field == "user-agent":
+            token = value.lower()
+            applies = token == "*" or (token and token in agent_lower)
+        elif field == "disallow" and applies and value == "/":
+            return False
+    return True
+
+
+class Fetcher:
+    """Worker pool fetching top-level pages from responsive IPs."""
+
+    def __init__(self, transport: Transport, config: FetchConfig | None = None):
+        self.transport = transport
+        self.config = config or FetchConfig()
+        #: GET counter across the fetcher's lifetime (ethics audit: at
+        #: most two GETs per IP per round).
+        self.gets_sent = 0
+
+    async def fetch_ip(self, outcome: ProbeOutcome) -> FetchResult:
+        """Fetch one IP's top-level page, honouring robots.txt."""
+        scheme = outcome.scheme
+        if scheme is None:
+            return FetchResult(ip=outcome.ip, status=FetchStatus.NOT_ATTEMPTED)
+        url = f"{scheme}://{_dotted(outcome.ip)}/"
+        if self.config.respect_robots:
+            allowed = await self._robots_allows(outcome.ip, scheme)
+            if not allowed:
+                return FetchResult(
+                    ip=outcome.ip, status=FetchStatus.ROBOTS_DISALLOWED, url=url
+                )
+        try:
+            response = await self._get(outcome.ip, scheme, "/")
+        except TransportError as exc:
+            return FetchResult(
+                ip=outcome.ip, status=FetchStatus.ERROR, url=url, error=str(exc)
+            )
+        body = self._body_text(response)
+        return FetchResult(
+            ip=outcome.ip,
+            status=FetchStatus.OK,
+            url=url,
+            status_code=response.status_code,
+            headers=dict(response.headers),
+            body=body,
+        )
+
+    async def fetch(self, outcomes: Sequence[ProbeOutcome]) -> list[FetchResult]:
+        """Fetch many IPs through the worker pool; preserves order."""
+        semaphore = asyncio.Semaphore(self.config.workers)
+
+        async def bounded(outcome: ProbeOutcome) -> FetchResult:
+            async with semaphore:
+                return await self.fetch_ip(outcome)
+
+        return list(await asyncio.gather(*(bounded(o) for o in outcomes)))
+
+    def fetch_sync(self, outcomes: Sequence[ProbeOutcome]) -> list[FetchResult]:
+        return asyncio.run(self.fetch(outcomes))
+
+    # ------------------------------------------------------------------
+
+    async def _robots_allows(self, ip: int, scheme: str) -> bool:
+        try:
+            response = await self._get(ip, scheme, "/robots.txt")
+        except TransportError:
+            # Unreachable robots.txt does not forbid the main fetch.
+            return True
+        if response.status_code != 200:
+            return True
+        text = response.body.decode("utf-8", errors="replace")
+        return parse_robots(text, self.config.user_agent)
+
+    async def _get(self, ip: int, scheme: str, path: str) -> HttpResponse:
+        self.gets_sent += 1
+        return await self.transport.get(
+            ip,
+            scheme,
+            path,
+            timeout=self.config.timeout,
+            max_body=self.config.max_body_bytes,
+            headers={"User-Agent": self.config.user_agent},
+        )
+
+    def _body_text(self, response: HttpResponse) -> str | None:
+        if not self.config.should_download(response.content_type):
+            return None
+        raw = response.body[: self.config.max_body_bytes]
+        return raw.decode("utf-8", errors="replace")
+
+
+def _dotted(ip: int) -> str:
+    return ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))

@@ -1,0 +1,151 @@
+"""The WhoWas platform orchestrator.
+
+Wires together the pipeline of Figure 1: scanner → fetcher → feature
+generator → database.  One :meth:`WhoWas.run_round` call performs one
+complete round of scanning over the target list, and the store exposes
+the programmatic lookup interface analyses are built on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Sequence
+
+from .config import PlatformConfig
+from .features import FeatureExtractor
+from .fetcher import Fetcher
+from .records import (
+    FetchResult,
+    FetchStatus,
+    ProbeStatus,
+    RoundRecord,
+)
+from .scanner import Scanner
+from .store import MeasurementStore, RoundInfo
+from .transport import Transport
+
+__all__ = ["RoundSummary", "WhoWas"]
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    """Aggregate results of one round (convenience for callers)."""
+
+    info: RoundInfo
+    responsive: int
+    available: int
+    fetched: int
+
+    @property
+    def round_id(self) -> int:
+        return self.info.round_id
+
+
+class WhoWas:
+    """The measurement platform: repeatedly scans a target list.
+
+    Parameters
+    ----------
+    transport:
+        Network implementation (real sockets or the cloud simulator).
+    store:
+        Round database; defaults to an in-memory store.
+    config:
+        Scanner/fetcher parameters; defaults follow the paper.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        store: MeasurementStore | None = None,
+        config: PlatformConfig | None = None,
+    ):
+        self.config = config or PlatformConfig()
+        self.transport = transport
+        self.store = store or MeasurementStore()
+        self.scanner = Scanner(
+            transport, self.config.scan, blacklist=self.config.blacklist
+        )
+        self.fetcher = Fetcher(transport, self.config.fetch)
+        self.features = FeatureExtractor()
+        self._next_round_id = 1
+
+    async def run_round_async(
+        self, targets: Sequence[int], timestamp: int
+    ) -> RoundSummary:
+        """Perform one round: probe every target, fetch pages from IPs
+        with open web ports, extract features, persist the results."""
+        round_id = self._next_round_id
+        self._next_round_id += 1
+
+        outcomes = await self.scanner.scan(targets)
+        to_fetch = [o for o in outcomes if o.responsive and o.wants_fetch]
+        fetch_results = await self.fetcher.fetch(to_fetch)
+        fetch_by_ip = {result.ip: result for result in fetch_results}
+        banners: dict[int, str] = {}
+        if self.config.grab_ssh_banners:
+            banners = await self._grab_banners(outcomes)
+
+        records: list[RoundRecord] = []
+        available = 0
+        for outcome in outcomes:
+            if outcome.status is not ProbeStatus.RESPONSIVE:
+                continue
+            fetch = fetch_by_ip.get(
+                outcome.ip,
+                FetchResult(ip=outcome.ip, status=FetchStatus.NOT_ATTEMPTED),
+            )
+            features = self.features.extract(fetch) if fetch.body else None
+            record = RoundRecord(
+                ip=outcome.ip,
+                round_id=round_id,
+                timestamp=timestamp,
+                probe=outcome,
+                fetch=fetch,
+                features=features,
+                ssh_banner=banners.get(outcome.ip),
+            )
+            if record.available:
+                available += 1
+            records.append(record)
+
+        info = self.store.write_round(round_id, timestamp, len(targets), records)
+        return RoundSummary(
+            info=info,
+            responsive=len(records),
+            available=available,
+            fetched=len(fetch_results),
+        )
+
+    def run_round(self, targets: Sequence[int], timestamp: int) -> RoundSummary:
+        """Synchronous wrapper around :meth:`run_round_async`."""
+        return asyncio.run(self.run_round_async(targets, timestamp))
+
+    async def _grab_banners(
+        self, outcomes: Sequence[ProbeOutcome]
+    ) -> dict[int, str]:
+        """Read SSH banners from responsive IPs with port 22 open."""
+        from .records import Port
+        from .transport import TransportError
+
+        targets = [
+            o.ip for o in outcomes
+            if o.responsive and Port.SSH in o.open_ports
+        ]
+        semaphore = asyncio.Semaphore(self.config.scan.concurrency)
+        timeout = self.config.scan.probe_timeout
+
+        async def grab(ip: int) -> tuple[int, str | None]:
+            async with semaphore:
+                try:
+                    return ip, await self.transport.banner(ip, 22, timeout)
+                except TransportError:
+                    return ip, None
+
+        results = await asyncio.gather(*(grab(ip) for ip in targets))
+        return {ip: banner for ip, banner in results if banner}
+
+    def history(self, ip: int) -> list[RoundRecord]:
+        """Lookup: history of status and content for an IP over time."""
+        return self.store.history(ip)

@@ -1,0 +1,272 @@
+"""Record types flowing through the WhoWas pipeline.
+
+The pipeline is scanner → fetcher → feature generator → store (§4 of the
+paper).  Each stage has a dedicated record type; a :class:`RoundRecord`
+is the fully-populated row persisted for one IP in one round of scanning.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "Port",
+    "ProbeStatus",
+    "ProbeOutcome",
+    "FetchStatus",
+    "FetchResult",
+    "PageFeatures",
+    "RoundRecord",
+    "UNKNOWN",
+]
+
+#: Placeholder for features missing from the HTML or headers (§4:
+#: "We mark entries as unknown when they are missing").
+UNKNOWN = "unknown"
+
+
+class Port(enum.IntEnum):
+    """The three ports WhoWas probes (§4)."""
+
+    HTTP = 80
+    HTTPS = 443
+    SSH = 22
+
+
+class ProbeStatus(enum.Enum):
+    """Result of the TCP SYN probe stage for one IP."""
+
+    #: At least one probed port accepted a connection.
+    RESPONSIVE = "responsive"
+    #: All probes timed out or were refused.
+    UNRESPONSIVE = "unresponsive"
+    #: IP was on the do-not-scan blacklist and was never probed.
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """Which ports answered for one IP in one round."""
+
+    ip: int
+    status: ProbeStatus
+    open_ports: frozenset[int] = frozenset()
+
+    @property
+    def responsive(self) -> bool:
+        return self.status is ProbeStatus.RESPONSIVE
+
+    @property
+    def wants_fetch(self) -> bool:
+        """True if the fetcher should visit this IP (80 or 443 open)."""
+        return bool(self.open_ports & {Port.HTTP, Port.HTTPS})
+
+    @property
+    def scheme(self) -> str | None:
+        """URL scheme the fetcher will use, per §4: "http://" if port 80
+        was open (alone or with 443), "https://" if only 443 was open."""
+        if Port.HTTP in self.open_ports:
+            return "http"
+        if Port.HTTPS in self.open_ports:
+            return "https"
+        return None
+
+    def port_profile(self) -> str:
+        """Port combination label used in Table 3."""
+        has_http = Port.HTTP in self.open_ports
+        has_https = Port.HTTPS in self.open_ports
+        if has_http and has_https:
+            return "80&443"
+        if has_http:
+            return "80-only"
+        if has_https:
+            return "443-only"
+        if Port.SSH in self.open_ports:
+            return "22-only"
+        return "none"
+
+
+class FetchStatus(enum.Enum):
+    """Result of the HTTP fetch stage."""
+
+    OK = "ok"                       # got an HTTP response (any status code)
+    ERROR = "error"                 # connection/protocol error
+    ROBOTS_DISALLOWED = "robots"    # robots.txt forbids fetching /
+    NOT_ATTEMPTED = "not-attempted"  # no web port open
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Outcome of fetching the top-level page of one IP.
+
+    ``body`` holds at most the first 512 KB of *text* content; non-text
+    content types are never downloaded (§4).
+    """
+
+    ip: int
+    status: FetchStatus
+    url: str = ""
+    status_code: int | None = None
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: str | None = None
+    error: str | None = None
+
+    @property
+    def available(self) -> bool:
+        """§4: an IP is *available* in a round if the HTTP(S) request for
+        the URL (without robots.txt) succeeded — i.e. any HTTP response
+        came back, whatever its status code.  This matches Table 7's
+        available/responsive ratio (~68% on EC2); Table 4 separately
+        breaks the responses down by status class."""
+        return self.status is FetchStatus.OK and self.status_code is not None
+
+    @property
+    def content_type(self) -> str:
+        value = ""
+        for name, header_value in self.headers.items():
+            if name.lower() == "content-type":
+                value = header_value
+                break
+        return value.split(";")[0].strip().lower()
+
+    def status_class(self) -> str:
+        """Status-code class label used in Table 4."""
+        if self.status_code is None:
+            return "other"
+        if self.status_code == 200:
+            return "200"
+        if 400 <= self.status_code < 500:
+            return "4xx"
+        if 500 <= self.status_code < 600:
+            return "5xx"
+        return "other"
+
+
+@dataclass(frozen=True)
+class PageFeatures:
+    """The ten features extracted per fetched page (§4)."""
+
+    powered_by: str = UNKNOWN        # (1) "x-powered-by" response header
+    description: str = UNKNOWN       # (2) <meta name="description">
+    header_string: str = UNKNOWN     # (3) sorted header names joined by '#'
+    html_length: int = 0             # (4) length of returned HTML
+    title: str = UNKNOWN             # (5) <title> string
+    template: str = UNKNOWN          # (6) <meta name="generator"> template
+    server: str = UNKNOWN            # (7) Server response header
+    keywords: str = UNKNOWN          # (8) <meta name="keywords">
+    analytics_id: str = UNKNOWN      # (9) Google Analytics ID
+    simhash: int = 0                 # (10) 96-bit simhash of the HTML
+
+    def level1_key(self) -> tuple[str, str, str, str, str]:
+        """The five features used for first-level clustering (§5):
+        title, template, server, keywords, and Analytics ID."""
+        return (self.title, self.template, self.server,
+                self.keywords, self.analytics_id)
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One fully-processed row: one IP in one round of scanning."""
+
+    ip: int
+    round_id: int
+    timestamp: int                      # day index of the round
+    probe: ProbeOutcome
+    fetch: FetchResult
+    features: PageFeatures | None = None
+    #: SSH banner read from port 22, when banner grabbing is enabled.
+    ssh_banner: str | None = None
+
+    @property
+    def responsive(self) -> bool:
+        return self.probe.responsive
+
+    @property
+    def available(self) -> bool:
+        return self.fetch.available
+
+    def to_row(self) -> dict:
+        """Flatten into primitive columns for persistence."""
+        features = self.features or PageFeatures()
+        return {
+            "ip": self.ip,
+            "round_id": self.round_id,
+            "timestamp": self.timestamp,
+            "probe_status": self.probe.status.value,
+            "open_ports": ",".join(str(p) for p in sorted(self.probe.open_ports)),
+            "fetch_status": self.fetch.status.value,
+            "url": self.fetch.url,
+            "status_code": self.fetch.status_code,
+            "content_type": self.fetch.content_type,
+            "headers": "\n".join(
+                f"{k}: {v}" for k, v in self.fetch.headers.items()
+            ),
+            "body": self.fetch.body,
+            "error": self.fetch.error,
+            "powered_by": features.powered_by,
+            "description": features.description,
+            "header_string": features.header_string,
+            "html_length": features.html_length,
+            "title": features.title,
+            "template": features.template,
+            "server": features.server,
+            "keywords": features.keywords,
+            "analytics_id": features.analytics_id,
+            "simhash": f"{features.simhash:024x}",
+            "ssh_banner": self.ssh_banner,
+        }
+
+    @classmethod
+    def from_row(cls, row: Mapping) -> "RoundRecord":
+        """Inverse of :meth:`to_row`."""
+        open_ports = frozenset(
+            int(p) for p in row["open_ports"].split(",") if p
+        )
+        headers = {}
+        if row["headers"]:
+            for line in row["headers"].split("\n"):
+                name, _, value = line.partition(": ")
+                headers[name] = value
+        probe = ProbeOutcome(
+            ip=row["ip"],
+            status=ProbeStatus(row["probe_status"]),
+            open_ports=open_ports,
+        )
+        fetch = FetchResult(
+            ip=row["ip"],
+            status=FetchStatus(row["fetch_status"]),
+            url=row["url"],
+            status_code=row["status_code"],
+            headers=headers,
+            body=row["body"],
+            error=row["error"],
+        )
+        # Features exist only for records with stored page content; the
+        # writer serialises defaults for feature-less rows, so body
+        # presence is the authoritative marker.
+        features = None
+        if row["body"] is not None:
+            features = PageFeatures(
+                powered_by=row["powered_by"],
+                description=row["description"],
+                header_string=row["header_string"],
+                html_length=row["html_length"],
+                title=row["title"],
+                template=row["template"],
+                server=row["server"],
+                keywords=row["keywords"],
+                analytics_id=row["analytics_id"],
+                simhash=int(row["simhash"], 16),
+            )
+        keys = row.keys() if hasattr(row, "keys") else row
+        return cls(
+            ip=row["ip"],
+            round_id=row["round_id"],
+            timestamp=row["timestamp"],
+            probe=probe,
+            fetch=fetch,
+            features=features,
+            ssh_banner=row["ssh_banner"] if "ssh_banner" in keys else None,
+        )

@@ -1,0 +1,126 @@
+"""The WhoWas scanner: lightweight TCP probing of cloud IP ranges (§4).
+
+For every target IP the scanner sends a probe to port 80 first, then to
+443; only if both fail does it probe port 22 — identifying live instances
+that are not public web servers.  Probes time out (2 s default) and are
+never retried, and a global token-bucket rate limiter caps the probe
+rate (250 pps default), keeping the measurement polite (§7).
+
+The scanner accepts a do-not-scan blacklist so operators can exclude
+tenants who opted out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, Sequence
+
+from .config import ScanConfig
+from .records import ProbeOutcome, ProbeStatus
+from .transport import Transport
+
+__all__ = ["RateLimiter", "Scanner"]
+
+
+class RateLimiter:
+    """Token-bucket limiter shared by all in-flight probes.
+
+    Runs on the event loop's clock; at simulator speeds (rate set very
+    high) ``acquire`` returns without ever sleeping.
+    """
+
+    def __init__(self, rate_per_second: float, burst: float | None = None):
+        if rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        self._rate = rate_per_second
+        self._capacity = burst if burst is not None else max(1.0, rate_per_second / 10)
+        self._tokens = self._capacity
+        self._updated: float | None = None
+        self._lock = asyncio.Lock()
+
+    async def acquire(self) -> None:
+        """Block until one probe token is available."""
+        async with self._lock:
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            if self._updated is None:
+                self._updated = now
+            self._tokens = min(
+                self._capacity, self._tokens + (now - self._updated) * self._rate
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return
+            deficit = 1.0 - self._tokens
+            self._tokens = 0.0
+            await asyncio.sleep(deficit / self._rate)
+            self._updated = loop.time()
+
+
+class Scanner:
+    """Probes a set of IPs and reports which ports are open on each."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        config: ScanConfig | None = None,
+        *,
+        blacklist: Iterable[int] = (),
+    ):
+        self.transport = transport
+        self.config = config or ScanConfig()
+        self.blacklist = frozenset(blacklist)
+        self._limiter = RateLimiter(self.config.probes_per_second)
+        #: Total probes sent across the scanner's lifetime (ethics audit).
+        self.probes_sent = 0
+
+    async def scan_ip(self, ip: int) -> ProbeOutcome:
+        """Probe one IP: web ports first, SSH fallback (§4).
+
+        At most ``len(web_ports) + len(fallback_ports)`` probes are sent;
+        the SSH probe is skipped as soon as any web port answers.
+        """
+        if ip in self.blacklist:
+            return ProbeOutcome(ip=ip, status=ProbeStatus.SKIPPED)
+        open_ports: set[int] = set()
+        for port in self.config.web_ports:
+            if await self._probe_once(ip, port):
+                open_ports.add(port)
+        if not open_ports:
+            for port in self.config.fallback_ports:
+                if await self._probe_once(ip, port):
+                    open_ports.add(port)
+        status = ProbeStatus.RESPONSIVE if open_ports else ProbeStatus.UNRESPONSIVE
+        return ProbeOutcome(ip=ip, status=status, open_ports=frozenset(open_ports))
+
+    async def scan(self, ips: Sequence[int]) -> list[ProbeOutcome]:
+        """Probe many IPs concurrently under the global rate limit.
+
+        Results are returned in input order.  Each IP is treated exactly
+        once per call — the platform invokes one call per round, matching
+        the "at most three probes per IP per day" budget.
+        """
+        semaphore = asyncio.Semaphore(self.config.concurrency)
+
+        async def bounded(ip: int) -> ProbeOutcome:
+            async with semaphore:
+                return await self.scan_ip(ip)
+
+        return list(await asyncio.gather(*(bounded(ip) for ip in ips)))
+
+    def scan_sync(self, ips: Sequence[int]) -> list[ProbeOutcome]:
+        """Convenience wrapper running :meth:`scan` on a fresh event loop."""
+        return asyncio.run(self.scan(ips))
+
+    async def _probe_once(self, ip: int, port: int) -> bool:
+        await self._limiter.acquire()
+        self.probes_sent += 1
+        result = await self.transport.probe(ip, port, self.config.probe_timeout)
+        for _ in range(self.config.retries):
+            if result:
+                break
+            await self._limiter.acquire()
+            self.probes_sent += 1
+            result = await self.transport.probe(ip, port, self.config.probe_timeout)
+        return result

@@ -1,0 +1,180 @@
+"""The WhoWas measurement database (§4).
+
+Mirrors the paper's storage layout: **each round of scanning uses a
+distinct table**, with the round's timestamp in the table name, plus a
+``rounds`` metadata table.  Backed by sqlite3 (file or ``:memory:``)
+instead of MySQL; the schema and the programmatic lookup API — "give me
+the history of status and content for this IP address over time" — are
+the same.
+
+Only *responsive* IPs produce rows (the target list is known, so
+unresponsiveness is encoded by absence), which keeps a campaign's
+database proportional to cloud usage rather than address-space size.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .records import RoundRecord
+
+__all__ = ["RoundInfo", "MeasurementStore"]
+
+_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("ip", "INTEGER NOT NULL"),
+    ("round_id", "INTEGER NOT NULL"),
+    ("timestamp", "INTEGER NOT NULL"),
+    ("probe_status", "TEXT NOT NULL"),
+    ("open_ports", "TEXT NOT NULL"),
+    ("fetch_status", "TEXT NOT NULL"),
+    ("url", "TEXT"),
+    ("status_code", "INTEGER"),
+    ("content_type", "TEXT"),
+    ("headers", "TEXT"),
+    ("body", "TEXT"),
+    ("error", "TEXT"),
+    ("powered_by", "TEXT"),
+    ("description", "TEXT"),
+    ("header_string", "TEXT"),
+    ("html_length", "INTEGER"),
+    ("title", "TEXT"),
+    ("template", "TEXT"),
+    ("server", "TEXT"),
+    ("keywords", "TEXT"),
+    ("analytics_id", "TEXT"),
+    ("simhash", "TEXT"),
+    ("ssh_banner", "TEXT"),
+)
+
+_COLUMN_NAMES = tuple(name for name, _ in _COLUMNS)
+
+
+@dataclass(frozen=True)
+class RoundInfo:
+    """Metadata about one round of scanning."""
+
+    round_id: int
+    timestamp: int          # day index when the round started
+    targets_probed: int
+    responsive_count: int
+
+    @property
+    def table_name(self) -> str:
+        return f"round_{self.timestamp:05d}"
+
+
+class MeasurementStore:
+    """sqlite3-backed store with one table per scan round."""
+
+    def __init__(self, path: str = ":memory:"):
+        self._conn = sqlite3.connect(path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS rounds ("
+            "  round_id INTEGER PRIMARY KEY,"
+            "  timestamp INTEGER NOT NULL,"
+            "  targets_probed INTEGER NOT NULL,"
+            "  responsive_count INTEGER NOT NULL"
+            ")"
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # writes
+
+    def write_round(
+        self,
+        round_id: int,
+        timestamp: int,
+        targets_probed: int,
+        records: Iterable[RoundRecord],
+    ) -> RoundInfo:
+        """Persist one complete round into its own table."""
+        info_rows = list(records)
+        table = f"round_{timestamp:05d}"
+        columns_sql = ", ".join(f"{name} {sql}" for name, sql in _COLUMNS)
+        self._conn.execute(f"DROP TABLE IF EXISTS {table}")
+        self._conn.execute(f"CREATE TABLE {table} ({columns_sql})")
+        placeholders = ", ".join("?" for _ in _COLUMN_NAMES)
+        self._conn.executemany(
+            f"INSERT INTO {table} ({', '.join(_COLUMN_NAMES)}) "
+            f"VALUES ({placeholders})",
+            (
+                tuple(record.to_row()[name] for name in _COLUMN_NAMES)
+                for record in info_rows
+            ),
+        )
+        self._conn.execute(f"CREATE INDEX idx_{table}_ip ON {table} (ip)")
+        self._conn.execute(
+            "INSERT OR REPLACE INTO rounds VALUES (?, ?, ?, ?)",
+            (round_id, timestamp, targets_probed, len(info_rows)),
+        )
+        self._conn.commit()
+        return RoundInfo(round_id, timestamp, targets_probed, len(info_rows))
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def rounds(self) -> list[RoundInfo]:
+        """All rounds in chronological order."""
+        cursor = self._conn.execute(
+            "SELECT round_id, timestamp, targets_probed, responsive_count "
+            "FROM rounds ORDER BY timestamp"
+        )
+        return [RoundInfo(*row) for row in cursor.fetchall()]
+
+    def round_info(self, round_id: int) -> RoundInfo:
+        cursor = self._conn.execute(
+            "SELECT round_id, timestamp, targets_probed, responsive_count "
+            "FROM rounds WHERE round_id = ?",
+            (round_id,),
+        )
+        row = cursor.fetchone()
+        if row is None:
+            raise KeyError(f"no such round: {round_id}")
+        return RoundInfo(*row)
+
+    def records(self, round_id: int) -> Iterator[RoundRecord]:
+        """All records of one round."""
+        info = self.round_info(round_id)
+        cursor = self._conn.execute(f"SELECT * FROM {info.table_name}")
+        for row in cursor:
+            yield RoundRecord.from_row(row)
+
+    def record(self, round_id: int, ip: int) -> RoundRecord | None:
+        """One IP's record in one round, or None if unresponsive then."""
+        info = self.round_info(round_id)
+        cursor = self._conn.execute(
+            f"SELECT * FROM {info.table_name} WHERE ip = ?", (ip,)
+        )
+        row = cursor.fetchone()
+        return RoundRecord.from_row(row) if row else None
+
+    def history(self, ip: int) -> list[RoundRecord]:
+        """The WhoWas lookup: the full status/content history of an IP,
+        in chronological order (absent rounds = unresponsive)."""
+        history: list[RoundRecord] = []
+        for info in self.rounds():
+            cursor = self._conn.execute(
+                f"SELECT * FROM {info.table_name} WHERE ip = ?", (ip,)
+            )
+            row = cursor.fetchone()
+            if row is not None:
+                history.append(RoundRecord.from_row(row))
+        return history
+
+    def responsive_ips(self, round_id: int) -> set[int]:
+        info = self.round_info(round_id)
+        cursor = self._conn.execute(f"SELECT ip FROM {info.table_name}")
+        return {row[0] for row in cursor.fetchall()}
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "MeasurementStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,21 @@
+"""Scenario builders and the measurement-campaign driver."""
+
+from .campaign import Campaign, CampaignResult, simulation_config
+from .scenario import (
+    Scenario,
+    azure_scenario,
+    ec2_scenario,
+    link_clouds,
+    scan_calendar,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "simulation_config",
+    "Scenario",
+    "azure_scenario",
+    "ec2_scenario",
+    "link_clouds",
+    "scan_calendar",
+]

@@ -1,0 +1,97 @@
+"""Campaign driver: run WhoWas against a scenario on its scan calendar.
+
+Replays §6's methodology — advance the simulated cloud day by day,
+running one complete WhoWas round (probe → fetch → features → store) on
+each scheduled scan day — and hands back everything the analyses need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.clustering import ClusteringResult, WebpageClusterer
+from ..analysis.dataset import Dataset
+from ..core.config import FetchConfig, PlatformConfig, ScanConfig
+from ..core.platform import RoundSummary, WhoWas
+from ..core.store import MeasurementStore
+from .scenario import Scenario
+
+__all__ = ["simulation_config", "CampaignResult", "Campaign"]
+
+
+def simulation_config(blacklist: frozenset[int] = frozenset()) -> PlatformConfig:
+    """Platform config tuned for simulator speed: the polite-rate token
+    bucket is pointless against an in-process simulator, so the rate is
+    effectively unlimited; probe semantics (timeouts, no retries) keep
+    the paper's defaults."""
+    return PlatformConfig(
+        scan=ScanConfig(probes_per_second=1e12, concurrency=2048),
+        fetch=FetchConfig(workers=2048),
+        blacklist=blacklist,
+        grab_ssh_banners=True,
+    )
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    scenario: Scenario
+    store: MeasurementStore
+    summaries: list[RoundSummary]
+    _dataset: Dataset | None = field(default=None, repr=False)
+    _clustering: ClusteringResult | None = field(default=None, repr=False)
+
+    @property
+    def dataset(self) -> Dataset:
+        """The in-memory dataset (loaded lazily, cached)."""
+        if self._dataset is None:
+            self._dataset = Dataset.from_store(self.store)
+        return self._dataset
+
+    def clustering(self, **kwargs) -> ClusteringResult:
+        """Run (or reuse) the §5 clustering over the campaign."""
+        if kwargs:
+            return WebpageClusterer(**kwargs).cluster(self.dataset)
+        if self._clustering is None:
+            self._clustering = WebpageClusterer().cluster(self.dataset)
+        return self._clustering
+
+    @property
+    def round_count(self) -> int:
+        return len(self.summaries)
+
+
+class Campaign:
+    """Runs a full measurement campaign over one scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        store: MeasurementStore | None = None,
+        config: PlatformConfig | None = None,
+    ):
+        self.scenario = scenario
+        self.store = store or MeasurementStore()
+        self.platform = WhoWas(
+            scenario.transport, self.store, config or simulation_config()
+        )
+
+    def run(self, scan_days: list[int] | None = None,
+            progress: bool = False) -> CampaignResult:
+        """Advance the cloud through its calendar, scanning on schedule."""
+        scenario = self.scenario
+        days = scan_days if scan_days is not None else scenario.scan_days
+        targets = scenario.targets
+        summaries: list[RoundSummary] = []
+        for day in days:
+            scenario.simulation.advance_to(day)
+            summary = self.platform.run_round(targets, timestamp=day)
+            summaries.append(summary)
+            if progress:
+                print(
+                    f"[{scenario.name}] day {day:3d}: "
+                    f"responsive={summary.responsive} "
+                    f"available={summary.available}"
+                )
+        return CampaignResult(scenario, self.store, summaries)

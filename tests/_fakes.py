@@ -1,0 +1,56 @@
+"""Test doubles shared by scanner/fetcher/platform tests."""
+
+from __future__ import annotations
+
+from repro.core.transport import HttpResponse, TransportError
+
+
+class FakeTransport:
+    """Scriptable transport: open ports and canned pages per IP."""
+
+    def __init__(self):
+        self.open_ports: dict[int, set[int]] = {}
+        self.pages: dict[tuple[int, str], HttpResponse] = {}
+        self.robots: dict[int, HttpResponse] = {}
+        self.errors: dict[int, str] = {}
+        self.probe_calls: list[tuple[int, int]] = []
+        self.get_calls: list[tuple[int, str, str]] = []
+        #: Per-(ip, port): number of failures before a probe succeeds.
+        self.fail_first: dict[tuple[int, int], int] = {}
+
+    def add_host(self, ip: int, ports, *, body: str = "<html></html>",
+                 status: int = 200, content_type: str = "text/html",
+                 robots_body: str | None = None):
+        self.open_ports[ip] = set(ports)
+        headers = {"Content-Type": content_type, "Server": "fake/1.0"}
+        self.pages[(ip, "/")] = HttpResponse(
+            status, headers, body.encode("utf-8")
+        )
+        if robots_body is not None:
+            self.robots[ip] = HttpResponse(
+                200, {"Content-Type": "text/plain"}, robots_body.encode()
+            )
+
+    async def probe(self, ip: int, port: int, timeout: float) -> bool:
+        self.probe_calls.append((ip, port))
+        key = (ip, port)
+        if self.fail_first.get(key, 0) > 0:
+            self.fail_first[key] -= 1
+            return False
+        return port in self.open_ports.get(ip, set())
+
+    async def get(self, ip: int, scheme: str, path: str, *, timeout: float,
+                  max_body: int, headers=None) -> HttpResponse:
+        self.get_calls.append((ip, scheme, path))
+        if ip in self.errors:
+            raise TransportError(self.errors[ip])
+        if path in ("/robots.txt", "robots.txt"):
+            if ip in self.robots:
+                return self.robots[ip]
+            return HttpResponse(404, {"Content-Type": "text/html"}, b"nope")
+        response = self.pages.get((ip, path))
+        if response is None:
+            raise TransportError("connection refused")
+        return HttpResponse(
+            response.status_code, response.headers, response.body[:max_body]
+        )

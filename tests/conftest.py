@@ -1,0 +1,49 @@
+"""Shared fixtures: small simulated campaigns, reused across test modules.
+
+Campaign fixtures are session-scoped — building a cloud and scanning it
+for a dozen rounds takes a few seconds, and every analysis test can
+share the same immutable result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Dataset
+from repro.workloads import Campaign, CampaignResult, azure_scenario, ec2_scenario
+
+
+@pytest.fixture(scope="session")
+def ec2_campaign() -> CampaignResult:
+    """A tiny EC2-like campaign: 2048 IPs, 35 days, 12 rounds."""
+    scenario = ec2_scenario(
+        total_ips=2048,
+        duration_days=35,
+        seed=101,
+        malicious_embedders=6,
+        malicious_hosters=10,
+        linchpin_services=1,
+    )
+    return Campaign(scenario).run()
+
+
+@pytest.fixture(scope="session")
+def azure_campaign() -> CampaignResult:
+    """A tiny Azure-like campaign: 1024 IPs, 30 days."""
+    scenario = azure_scenario(
+        total_ips=1024,
+        duration_days=30,
+        seed=103,
+        malicious_embedders=3,
+    )
+    return Campaign(scenario).run()
+
+
+@pytest.fixture(scope="session")
+def ec2_dataset(ec2_campaign) -> Dataset:
+    return ec2_campaign.dataset
+
+
+@pytest.fixture(scope="session")
+def ec2_clustering(ec2_campaign):
+    return ec2_campaign.clustering()

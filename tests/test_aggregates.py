@@ -1,0 +1,66 @@
+"""Tests for the privacy-preserving aggregate reports (§7)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.aggregates import (
+    K_ANONYMITY_FLOOR,
+    build_aggregate_report,
+)
+
+
+class TestAggregateReport:
+    def test_build_and_serialise(self, ec2_campaign, ec2_dataset,
+                                 ec2_clustering):
+        report = build_aggregate_report("EC2", ec2_dataset, ec2_clustering)
+        payload = json.loads(report.to_json())
+        assert payload["cloud"] == "EC2"
+        assert payload["rounds"] == ec2_dataset.round_count
+        assert 0 < payload["responsive_share_avg"] < 100
+        assert payload["cluster_size_histogram"]
+        assert payload["churn_overall_pct"] is not None
+
+    def test_privacy_self_check(self, ec2_dataset, ec2_clustering):
+        report = build_aggregate_report("EC2", ec2_dataset, ec2_clustering)
+        report.assert_private()     # raises if anything identifying leaks
+
+    def test_no_ips_urls_or_ga_ids(self, ec2_dataset, ec2_clustering):
+        text = build_aggregate_report(
+            "EC2", ec2_dataset, ec2_clustering
+        ).to_json()
+        assert "http://" not in text
+        assert "UA-" not in text
+        # No dotted quads anywhere (server version strings like
+        # Apache/2.2.22 contain three dots at most per token).
+        import re
+
+        assert not re.search(r"\b\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}\b", text)
+
+    def test_k_anonymity_suppression(self, ec2_dataset, ec2_clustering):
+        """Rare server families are folded into "(suppressed)"."""
+        report = build_aggregate_report("EC2", ec2_dataset, ec2_clustering)
+        # Count observed family sizes from the raw data to validate.
+        from collections import Counter
+
+        from repro.analysis.census import server_family
+        from repro.core.records import UNKNOWN
+
+        families = Counter()
+        for obs in ec2_dataset.observations():
+            if obs.features is not None and obs.features.server != UNKNOWN:
+                families[server_family(obs.features.server)] += 1
+        rare = {
+            name for name, count in families.items()
+            if count < K_ANONYMITY_FLOOR
+        }
+        for name in rare:
+            assert name not in report.server_family_shares
+        if rare:
+            assert "(suppressed)" in report.server_family_shares
+
+    def test_without_clustering(self, ec2_dataset):
+        report = build_aggregate_report("EC2", ec2_dataset)
+        assert report.cluster_size_histogram == {}
+        assert report.churn_overall_pct is None
+        report.assert_private()

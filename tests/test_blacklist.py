@@ -1,0 +1,133 @@
+"""Tests for the Safe Browsing and VirusTotal simulators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.blacklist import SafeBrowsingSim, VirusTotalSim, is_vt_visible
+from repro.cloudsim.population import WorkloadSpec
+from repro.cloudsim.providers import EC2_SPEC
+from repro.cloudsim.services import PORT_PROFILES_EC2
+from repro.cloudsim.simulation import CloudSimulation
+from repro.cloudsim.software import EC2_CATALOG
+
+
+@pytest.fixture(scope="module")
+def sim() -> CloudSimulation:
+    workload = WorkloadSpec(
+        cloud="EC2",
+        duration_days=40,
+        malicious_embedders=8,
+        malicious_hosters=10,
+        linchpin_services=1,
+    )
+    topology = EC2_SPEC.build(2048, seed=31)
+    simulation = CloudSimulation(
+        topology, workload, EC2_CATALOG, PORT_PROFILES_EC2, seed=31
+    )
+    simulation.advance_to(39)
+    return simulation
+
+
+class TestSafeBrowsing:
+    def test_listing_has_lag(self, sim):
+        sb = SafeBrowsingSim(sim, seed=1, coverage=1.0, mean_lag_days=3.0)
+        listed = sb.listed_urls()
+        assert listed
+        lags = []
+        for url, (category, day) in listed.items():
+            assert category in ("malware", "phishing")
+            lags.append(day)
+        assert any(day > 0 for day in lags)
+
+    def test_lookup_respects_listing_day(self, sim):
+        sb = SafeBrowsingSim(sim, seed=1, coverage=1.0)
+        url, (category, day) = next(
+            (u, meta) for u, meta in sb.listed_urls().items() if meta[1] > 0
+        )
+        assert sb.lookup(url, day - 1) == "ok"
+        assert sb.lookup(url, day) == category
+        assert sb.lookup(url, day + 30) == category
+
+    def test_unknown_url_ok(self, sim):
+        sb = SafeBrowsingSim(sim, seed=1)
+        assert sb.lookup("http://benign.example.com/", 10) == "ok"
+
+    def test_coverage_zero_lists_nothing(self, sim):
+        sb = SafeBrowsingSim(sim, seed=1, coverage=0.0)
+        assert not sb.listed_urls()
+
+    def test_deterministic(self, sim):
+        a = SafeBrowsingSim(sim, seed=4).listed_urls()
+        b = SafeBrowsingSim(sim, seed=4).listed_urls()
+        assert a == b
+
+    def test_lookup_counter(self, sim):
+        sb = SafeBrowsingSim(sim, seed=1)
+        sb.lookup("http://a.example/", 0)
+        sb.lookup("http://b.example/", 0)
+        assert sb.lookup_count == 2
+
+
+class TestVirusTotal:
+    def test_reports_deterministic(self, sim):
+        vt = VirusTotalSim(sim, seed=2)
+        malicious_ip = self.find_malicious_ip(sim)
+        assert vt.report(malicious_ip) == vt.report(malicious_ip)
+
+    @staticmethod
+    def find_malicious_ip(sim) -> int:
+        for interval in sim.log.intervals:
+            service = sim.services[interval.service_id]
+            if is_vt_visible(service):
+                return interval.ip
+        pytest.skip("no VT-visible deployment at this seed")
+
+    def test_malicious_ip_detected(self, sim):
+        vt = VirusTotalSim(sim, seed=2, engine_coverage=1.0,
+                           mean_lag_days=0.1)
+        ip = self.find_malicious_ip(sim)
+        report = vt.report(ip)
+        assert report.detections
+        assert report.is_malicious()
+        assert report.first_detection_day() <= report.last_detection_day()
+
+    def test_detected_urls_point_at_malicious_domains(self, sim):
+        vt = VirusTotalSim(sim, seed=2, engine_coverage=1.0,
+                           mean_lag_days=0.1)
+        report = vt.report(self.find_malicious_ip(sim))
+        for detection in report.detections:
+            assert detection.url.startswith("http://")
+            assert detection.category in ("malware", "phishing")
+
+    def test_clean_ip_mostly_empty(self, sim):
+        vt = VirusTotalSim(sim, seed=2, false_positive_rate=0.0)
+        clean_ips = [
+            ip for ip in list(sim.assignments())[:50]
+            if all(
+                not is_vt_visible(sim.services[i.service_id])
+                for i in sim.log.intervals_for_ip(ip)
+            )
+        ]
+        for ip in clean_ips:
+            assert not vt.report(ip).detections
+
+    def test_false_positives_single_engine(self, sim):
+        vt = VirusTotalSim(sim, seed=2, false_positive_rate=1.0)
+        clean_ip = next(
+            ip for ip in sim.assignments()
+            if all(
+                not is_vt_visible(sim.services[i.service_id])
+                for i in sim.log.intervals_for_ip(ip)
+            )
+        )
+        report = vt.report(clean_ip)
+        assert len(report.engines) == 1
+        assert not report.is_malicious(min_engines=2)
+
+    def test_min_engines_rule(self, sim):
+        vt = VirusTotalSim(sim, seed=2, engine_coverage=1.0,
+                           mean_lag_days=0.1)
+        report = vt.report(self.find_malicious_ip(sim))
+        assert report.is_malicious(min_engines=2)
+        assert not report.is_malicious(min_engines=len(vt.ENGINES) + 1)

@@ -1,0 +1,106 @@
+"""Tests for the software ecosystem census (§8.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.census import SoftwareCensus, server_family
+
+from _obs import make_dataset, obs
+
+
+class TestServerFamily:
+    @pytest.mark.parametrize(
+        "header,family",
+        [
+            ("Apache/2.2.22", "Apache"),
+            ("Apache-Coyote/1.1", "Apache"),
+            ("apache", "Apache"),
+            ("nginx/1.4.1", "nginx"),
+            ("Microsoft-IIS/8.0", "Microsoft-IIS"),
+            ("MochiWeb/1.0 (Any of you quaids got a smint?)", "MochiWeb"),
+            ("lighttpd/1.4.28", "lighttpd"),
+            ("SomeCustom/9.9", "SomeCustom"),
+        ],
+    )
+    def test_families(self, header, family):
+        assert server_family(header) == family
+
+
+class TestSoftwareCensus:
+    def build_dataset(self):
+        rows = [
+            obs(1, 0, title="a", server="Apache/2.2.22",
+                powered_by="PHP/5.3.10", simhash=1),
+            obs(2, 0, title="b", server="Apache/2.4.7", simhash=2),
+            obs(3, 0, title="c", server="nginx/1.4.1",
+                powered_by="Express", simhash=3),
+            obs(4, 0, title="d", server="Microsoft-IIS/6.0",
+                powered_by="ASP.NET", simhash=4),
+            obs(5, 0, title="e", simhash=5,
+                template="WordPress 3.5.1"),
+            obs(6, 0, title="f", simhash=6,
+                template="WordPress 3.7.1"),
+            obs(7, 0, title="g", simhash=7,
+                template="Drupal 7 (http://drupal.org)"),
+            # Unavailable row must be ignored entirely.
+            obs(8, 0, title="x", server="Apache/1.3.42",
+                status_code=None, has_page=False),
+        ]
+        return make_dataset(rows)
+
+    def test_server_identification_share(self):
+        report = SoftwareCensus(self.build_dataset()).report()
+        # 4 of 7 available rows carry a Server header.
+        assert report.server_identified_share == pytest.approx(4 / 7 * 100)
+
+    def test_family_shares(self):
+        report = SoftwareCensus(self.build_dataset()).report()
+        assert report.server_family_shares["Apache"] == pytest.approx(50.0)
+        assert report.server_family_shares["nginx"] == pytest.approx(25.0)
+
+    def test_backends(self):
+        report = SoftwareCensus(self.build_dataset()).report()
+        assert report.backend_shares["PHP"] == pytest.approx(100 / 3)
+        assert report.php_version_shares == {"PHP/5.3.10": 100.0}
+
+    def test_vulnerable_servers_flagged(self):
+        report = SoftwareCensus(self.build_dataset()).report()
+        assert report.vulnerable_server_ips["Apache/2.2.22"] == 1
+        assert report.vulnerable_server_ips["Microsoft-IIS/6.0"] == 1
+        assert "Apache/2.4.7" not in report.vulnerable_server_ips
+
+    def test_wordpress_vulnerability_share(self):
+        """WordPress below 3.6 is vulnerable (CVE-2013-4338 family)."""
+        report = SoftwareCensus(self.build_dataset()).report()
+        assert report.wordpress_vulnerable_share == pytest.approx(50.0)
+
+    def test_template_shares(self):
+        report = SoftwareCensus(self.build_dataset()).report()
+        assert report.template_shares["WordPress"] == pytest.approx(200 / 3)
+        assert report.template_shares["Drupal"] == pytest.approx(100 / 3)
+
+
+class TestCensusOnCampaign:
+    def test_ec2_shape(self, ec2_dataset):
+        """§8.3's EC2 rankings: Apache > nginx > IIS; PHP leads
+        backends; WordPress leads templates; stale versions common."""
+        report = SoftwareCensus(ec2_dataset).report()
+        shares = report.server_family_shares
+        assert shares["Apache"] > shares["nginx"] > shares["Microsoft-IIS"]
+        assert report.server_identified_share > 70.0
+        backends = report.backend_shares
+        php_share = sum(v for k, v in backends.items() if k.startswith("PHP"))
+        assert php_share > backends.get("ASP.NET", 0.0)
+        if len(report.wordpress_version_counts) >= 3:
+            # Needs enough distinct WordPress sites to be meaningful;
+            # the tiny test campaign may draw only one or two.
+            assert report.wordpress_vulnerable_share > 20.0
+        assert report.top_servers(3)
+
+    def test_azure_shape(self, azure_campaign):
+        """§8.3: IIS dominates Azure; ASP.NET leads backends."""
+        report = SoftwareCensus(azure_campaign.dataset).report()
+        shares = report.server_family_shares
+        assert shares["Microsoft-IIS"] > 60.0
+        assert report.backend_shares.get("ASP.NET", 0) > 50.0

@@ -1,0 +1,283 @@
+"""Tests for the 2-level clustering heuristic, merging and cleaning (§5)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.clustering import WebpageClusterer
+from repro.core.simhash import HASH_BITS
+
+from _obs import make_dataset, obs
+
+
+def near(base: int, bits: int, seed: int = 0) -> int:
+    rng = random.Random(seed)
+    value = base
+    for position in rng.sample(range(HASH_BITS), bits):
+        value ^= 1 << position
+    return value
+
+
+HASH_A = random.Random(1).getrandbits(96)
+HASH_B = random.Random(2).getrandbits(96)
+HASH_C = random.Random(3).getrandbits(96)
+
+
+class TestLevel1:
+    def test_same_features_same_hash_one_cluster(self):
+        dataset = make_dataset([
+            obs(1, 0, title="shop", server="nginx", simhash=HASH_A),
+            obs(2, 0, title="shop", server="nginx", simhash=HASH_A),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) == result.cluster_of(2, 0)
+        assert result.stats.top_level_clusters == 1
+
+    def test_different_titles_different_clusters(self):
+        dataset = make_dataset([
+            obs(1, 0, title="shop", simhash=HASH_A),
+            obs(2, 0, title="blog", simhash=HASH_A),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) != result.cluster_of(2, 0)
+        assert result.stats.top_level_clusters == 2
+
+    def test_all_five_features_used(self):
+        base = dict(title="t", template="wp", server="nginx",
+                    keywords="k", analytics_id="UA-1-1", simhash=HASH_A)
+        variants = []
+        for index, field in enumerate(
+            ("title", "template", "server", "keywords", "analytics_id")
+        ):
+            changed = dict(base)
+            changed[field] = "different"
+            variants.append(obs(10 + index, 0, **changed))
+        dataset = make_dataset([obs(1, 0, **base)] + variants)
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        reference = result.cluster_of(1, 0)
+        for index in range(5):
+            assert result.cluster_of(10 + index, 0) != reference
+
+
+class TestLevel2:
+    def test_distant_hashes_split(self):
+        dataset = make_dataset([
+            obs(1, 0, title="shop", simhash=HASH_A),
+            obs(2, 0, title="shop", simhash=HASH_B),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) != result.cluster_of(2, 0)
+        assert result.stats.top_level_clusters == 1
+        assert result.stats.second_level_clusters == 2
+
+    def test_near_hashes_stay_together(self):
+        dataset = make_dataset([
+            obs(1, 0, title="shop", simhash=HASH_A),
+            obs(2, 0, title="shop", simhash=near(HASH_A, 2)),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) == result.cluster_of(2, 0)
+
+    def test_threshold_tuned_when_unset(self):
+        rng = random.Random(9)
+        observations = []
+        for index in range(15):
+            base = rng.getrandbits(96)
+            observations.append(
+                obs(index * 2, 0, title=f"site{index}", simhash=base)
+            )
+            observations.append(
+                obs(index * 2 + 1, 0, title=f"site{index}",
+                    simhash=near(base, 3, seed=index))
+            )
+        result = WebpageClusterer().cluster(make_dataset(observations))
+        assert result.threshold >= 3
+
+
+class TestMergeHeuristic:
+    def test_revision_merged(self):
+        """Same IP, small simhash move, same server => one cluster,
+        despite the title change splitting level 1."""
+        dataset = make_dataset([
+            obs(1, 0, title="shop v1", server="nginx", simhash=HASH_A),
+            obs(1, 1, title="shop v2", server="nginx",
+                simhash=near(HASH_A, 2)),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) == result.cluster_of(1, 1)
+
+    def test_no_merge_beyond_three_bits(self):
+        dataset = make_dataset([
+            obs(1, 0, title="shop v1", server="nginx", simhash=HASH_A),
+            obs(1, 1, title="shop v2", server="nginx",
+                simhash=near(HASH_A, 8)),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) != result.cluster_of(1, 1)
+
+    def test_no_merge_without_shared_feature(self):
+        dataset = make_dataset([
+            obs(1, 0, title="shop v1", server="nginx", simhash=HASH_A),
+            obs(1, 1, title="shop v2", server="apache",
+                simhash=near(HASH_A, 2)),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) != result.cluster_of(1, 1)
+
+    def test_unknown_features_do_not_merge(self):
+        """Two pages sharing only 'unknown' values share nothing."""
+        dataset = make_dataset([
+            obs(1, 0, title="a", simhash=HASH_A),
+            obs(1, 1, title="b", simhash=near(HASH_A, 2)),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) != result.cluster_of(1, 1)
+
+    def test_different_ips_not_merged(self):
+        dataset = make_dataset([
+            obs(1, 0, title="shop v1", server="nginx", simhash=HASH_A),
+            obs(2, 1, title="shop v2", server="nginx",
+                simhash=near(HASH_A, 2)),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) != result.cluster_of(2, 1)
+
+    def test_merge_disabled_for_ablation(self):
+        dataset = make_dataset([
+            obs(1, 0, title="shop v1", server="nginx", simhash=HASH_A),
+            obs(1, 1, title="shop v2", server="nginx",
+                simhash=near(HASH_A, 2)),
+        ])
+        result = WebpageClusterer(
+            level2_threshold=3, use_merge=False
+        ).cluster(dataset)
+        assert result.cluster_of(1, 0) != result.cluster_of(1, 1)
+
+
+class TestCleaning:
+    def test_error_titles_removed(self):
+        dataset = make_dataset([
+            obs(1, 0, title="404 Not Found", simhash=HASH_A),
+            obs(2, 0, title="healthy site", simhash=HASH_B),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert result.cluster_of(1, 0) is None
+        assert result.cluster_of(2, 0) is not None
+        assert len(result.removed) == 1
+
+    def test_big_default_page_cluster_removed(self):
+        observations = [
+            obs(ip, 0, title="Welcome to nginx!", simhash=HASH_C)
+            for ip in range(30)
+        ]
+        observations.append(obs(99, 0, title="real site", simhash=HASH_B))
+        result = WebpageClusterer(
+            level2_threshold=3, clean_min_daily_ips=20
+        ).cluster(make_dataset(observations))
+        assert result.cluster_of(0, 0) is None
+        assert result.cluster_of(99, 0) is not None
+
+    def test_small_default_page_cluster_kept(self):
+        """Only *large* default-page clusters are cleaned (§5)."""
+        observations = [
+            obs(ip, 0, title="Welcome to nginx!", simhash=HASH_C)
+            for ip in range(3)
+        ]
+        result = WebpageClusterer(
+            level2_threshold=3, clean_min_daily_ips=20
+        ).cluster(make_dataset(observations))
+        assert result.cluster_of(0, 0) is not None
+
+
+class TestStats:
+    def test_funnel_counts(self):
+        dataset = make_dataset([
+            obs(1, 0, title="a", simhash=HASH_A),
+            obs(1, 1, title="a", simhash=HASH_A),
+            obs(2, 0, title="a", simhash=HASH_B),
+            obs(3, 0, title="error page", simhash=HASH_C),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        stats = result.stats
+        assert stats.responsive_ips == 3
+        assert stats.unique_simhashes == 3
+        assert stats.top_level_clusters == 2
+        assert stats.second_level_clusters == 3
+        assert stats.final_clusters == 2      # error cluster cleaned
+
+    def test_cluster_accessors(self):
+        dataset = make_dataset([
+            obs(1, 0, title="a", simhash=HASH_A),
+            obs(2, 0, title="a", simhash=HASH_A),
+            obs(1, 1, title="a", simhash=HASH_A),
+        ])
+        result = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        cid = result.cluster_of(1, 0)
+        cluster = result.clusters[cid]
+        assert cluster.ips() == {1, 2}
+        assert cluster.rounds() == {0, 1}
+        assert cluster.ips_in_round(0) == {1, 2}
+        assert cluster.size_by_round([0, 1]) == [2, 1]
+        assert cluster.average_size(2) == 1.5
+
+
+class TestGroundTruthQuality:
+    def test_recovers_simulated_services(self, ec2_campaign, ec2_clustering):
+        """Score clustering against the simulator's ownership ground
+        truth: majority-owner purity should be high."""
+        dataset = ec2_campaign.dataset
+        simulation = ec2_campaign.scenario.simulation
+        log = simulation.log
+        total = 0
+        pure = 0
+        for cluster in ec2_clustering.clusters.values():
+            owners: dict[int, int] = {}
+            members = list(cluster.members)
+            for ip, rid in members:
+                owner = log.owner_on(ip, dataset.timestamp_of(rid))
+                if owner is not None:
+                    owners[owner] = owners.get(owner, 0) + 1
+            if not owners:
+                continue
+            majority = max(owners.values())
+            total += sum(owners.values())
+            pure += majority
+        assert total > 0
+        assert pure / total > 0.95
+
+
+class TestFeatureSubset:
+    """§5: the interface supports clustering with other goals — e.g.
+    dropping the server feature, or using only Analytics IDs."""
+
+    def test_analytics_only(self):
+        dataset = make_dataset([
+            obs(1, 0, title="site a", analytics_id="UA-1-1", simhash=HASH_A),
+            obs(2, 0, title="site b", analytics_id="UA-1-1", simhash=HASH_A),
+            obs(3, 0, title="site a", analytics_id="UA-2-1", simhash=HASH_A),
+        ])
+        clusterer = WebpageClusterer(
+            level2_threshold=96, feature_subset=("analytics_id",)
+        )
+        result = clusterer.cluster(dataset)
+        assert result.cluster_of(1, 0) == result.cluster_of(2, 0)
+        assert result.cluster_of(3, 0) != result.cluster_of(1, 0)
+
+    def test_drop_server_feature(self):
+        dataset = make_dataset([
+            obs(1, 0, title="same", server="nginx", simhash=HASH_A),
+            obs(2, 0, title="same", server="apache", simhash=HASH_A),
+        ])
+        full = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        assert full.cluster_of(1, 0) != full.cluster_of(2, 0)
+        related = WebpageClusterer(
+            level2_threshold=3,
+            feature_subset=("title", "template", "keywords", "analytics_id"),
+        ).cluster(dataset)
+        assert related.cluster_of(1, 0) == related.cluster_of(2, 0)
+
+    def test_unknown_feature_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            WebpageClusterer(feature_subset=("hostname",))

@@ -1,0 +1,85 @@
+"""Tests for platform configuration and its paper defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FetchConfig, PlatformConfig, ScanConfig
+
+
+class TestScanConfig:
+    def test_paper_defaults(self):
+        config = ScanConfig()
+        assert config.probe_timeout == 2.0
+        assert config.probes_per_second == 250.0
+        assert config.retries == 0
+        assert config.web_ports == (80, 443)
+        assert config.fallback_ports == (22,)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"probe_timeout": 0},
+            {"probe_timeout": -1},
+            {"probes_per_second": 0},
+            {"concurrency": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ScanConfig(**kwargs)
+
+
+class TestFetchConfig:
+    def test_paper_defaults(self):
+        config = FetchConfig()
+        assert config.workers == 250
+        assert config.timeout == 10.0
+        assert config.max_body_bytes == 512 * 1024
+        assert config.respect_robots
+
+    def test_user_agent_has_contact(self):
+        """§7: the UA carries a research note with a contact address."""
+        user_agent = FetchConfig().user_agent
+        assert "contact" in user_agent
+        assert "opt out" in user_agent
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"workers": 0}, {"timeout": 0}, {"max_body_bytes": 0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FetchConfig(**kwargs)
+
+    def test_should_download_text(self):
+        config = FetchConfig()
+        assert config.should_download("text/html")
+        assert config.should_download("text/plain; charset=utf-8")
+        assert config.should_download("TEXT/XML")
+
+    def test_should_not_download_binary(self):
+        """§4: application/audio/image/video bodies are never stored."""
+        config = FetchConfig()
+        assert not config.should_download("image/png")
+        assert not config.should_download("video/mp4")
+        assert not config.should_download("audio/mpeg")
+        assert not config.should_download("application/octet-stream")
+
+    def test_text_like_application_types_allowed(self):
+        """Table 5 shows application/json and application/xml stored."""
+        config = FetchConfig()
+        assert config.should_download("application/json")
+        assert config.should_download("application/xml")
+        assert config.should_download("application/xhtml+xml")
+
+    def test_missing_content_type_downloaded(self):
+        assert FetchConfig().should_download("")
+
+
+class TestPlatformConfig:
+    def test_default_composition(self):
+        config = PlatformConfig()
+        assert config.scan.probe_timeout == 2.0
+        assert config.fetch.workers == 250
+        assert config.blacklist == frozenset()

@@ -1,0 +1,145 @@
+"""Tests for the depth-limited crawler (§9 "deeper crawling")."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.config import FetchConfig
+from repro.core.crawler import Crawler
+from repro.core.features import extract_internal_links
+from repro.core.records import FetchStatus, ProbeOutcome, ProbeStatus
+
+from _fakes import FakeTransport
+
+
+def outcome(ip: int, ports={80}) -> ProbeOutcome:
+    return ProbeOutcome(
+        ip=ip, status=ProbeStatus.RESPONSIVE, open_ports=frozenset(ports)
+    )
+
+
+def site(transport: FakeTransport, ip: int, pages: dict[str, str]) -> None:
+    transport.open_ports[ip] = {80}
+    from repro.core.transport import HttpResponse
+
+    for path, body in pages.items():
+        transport.pages[(ip, path)] = HttpResponse(
+            200, {"Content-Type": "text/html", "Server": "t/1"},
+            body.encode(),
+        )
+
+
+class TestExtractInternalLinks:
+    def test_relative_paths_only(self):
+        html = (
+            '<a href="/about">a</a> <a href="http://x.y/z">e</a> '
+            '<a href="//cdn.example/app.js">p</a> <a href="/about">dup</a>'
+        )
+        assert extract_internal_links(html) == ["/about"]
+
+    def test_order_preserved(self):
+        html = '<a href="/b">b</a><a href="/a">a</a>'
+        assert extract_internal_links(html) == ["/b", "/a"]
+
+
+class TestCrawler:
+    def make_site(self) -> FakeTransport:
+        transport = FakeTransport()
+        site(transport, 1, {
+            "/": '<html><a href="/about">about</a>'
+                 '<a href="/blog">blog</a></html>',
+            "/about": "<html>about us</html>",
+            "/blog": '<html><a href="/blog/post1">post</a></html>',
+            "/blog/post1": "<html>the post</html>",
+        })
+        return transport
+
+    def test_depth_one(self):
+        crawler = Crawler(self.make_site(), max_depth=1, max_pages=10)
+        result = asyncio.run(crawler.crawl_ip(outcome(1)))
+        assert set(result.pages) == {"/", "/about", "/blog"}
+        assert result.root is not None
+        assert result.pages["/about"].status_code == 200
+
+    def test_depth_two_follows_nested(self):
+        crawler = Crawler(self.make_site(), max_depth=2, max_pages=10)
+        result = asyncio.run(crawler.crawl_ip(outcome(1)))
+        assert "/blog/post1" in result.pages
+
+    def test_page_budget(self):
+        crawler = Crawler(self.make_site(), max_depth=3, max_pages=2)
+        result = asyncio.run(crawler.crawl_ip(outcome(1)))
+        assert result.page_count == 2
+
+    def test_missing_page_recorded_as_error(self):
+        transport = FakeTransport()
+        site(transport, 1, {"/": '<a href="/gone">x</a>'})
+        crawler = Crawler(transport)
+        result = asyncio.run(crawler.crawl_ip(outcome(1)))
+        assert result.pages["/gone"].status is FetchStatus.ERROR
+
+    def test_robots_respected(self):
+        transport = self.make_site()
+        transport.robots[1] = __import__(
+            "repro.core.transport", fromlist=["HttpResponse"]
+        ).HttpResponse(
+            200, {"Content-Type": "text/plain"},
+            b"User-agent: *\nDisallow: /\n",
+        )
+        crawler = Crawler(transport)
+        result = asyncio.run(crawler.crawl_ip(outcome(1)))
+        assert result.root.status is FetchStatus.ROBOTS_DISALLOWED
+        assert result.page_count == 1     # nothing crawled
+
+    def test_ssh_only_not_crawled(self):
+        crawler = Crawler(FakeTransport())
+        result = asyncio.run(crawler.crawl_ip(outcome(1, ports={22})))
+        assert result.root.status is FetchStatus.NOT_ATTEMPTED
+        assert result.page_count == 1
+
+    def test_combined_text(self):
+        crawler = Crawler(self.make_site(), max_depth=1, max_pages=10)
+        result = asyncio.run(crawler.crawl_ip(outcome(1)))
+        text = result.combined_text()
+        assert "about us" in text
+        assert "blog" in text
+
+    def test_crawl_many(self):
+        transport = self.make_site()
+        site(transport, 2, {"/": "<html>solo</html>"})
+        crawler = Crawler(transport)
+        results = crawler.crawl_sync([outcome(1), outcome(2)])
+        assert [r.ip for r in results] == [1, 2]
+        assert results[1].page_count == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Crawler(FakeTransport(), max_depth=-1)
+        with pytest.raises(ValueError):
+            Crawler(FakeTransport(), max_pages=0)
+
+    def test_against_simulated_cloud(self, ec2_campaign):
+        """Simulated sites expose subpages the crawler can walk."""
+        scenario = ec2_campaign.scenario
+        simulation = scenario.simulation
+        target = None
+        for service in simulation.live_services():
+            if (service.serves_web and service.profile is not None
+                    and service.profile.status_code == 200
+                    and service.profile.subpages
+                    and not service.profile.robots_disallow
+                    and service.availability >= 0.99
+                    and 80 in service.port_profile.open_ports
+                    and simulation.footprint(service.service_id)):
+                target = service
+                break
+        if target is None:
+            pytest.skip("no crawlable service at this seed")
+        ip = simulation.footprint(target.service_id)[0]
+        crawler = Crawler(scenario.transport, FetchConfig(workers=4))
+        result = asyncio.run(crawler.crawl_ip(outcome(ip)))
+        assert result.page_count >= 1 + len(target.profile.subpages)
+        for path in target.profile.subpages:
+            assert result.pages[path].status_code == 200

@@ -1,0 +1,116 @@
+"""Tests for cross-cloud overlap detection (§8.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import find_cross_cloud_clusters
+from repro.analysis.clustering import WebpageClusterer
+from repro.workloads import Campaign, azure_scenario, ec2_scenario, link_clouds
+
+from _obs import make_dataset, obs
+
+HASH = 0x123456789ABCDEF0FEDCBA98
+
+
+class TestMatcher:
+    def build(self, hash_b: int, title_b: str = "shared site"):
+        dataset_a = make_dataset([
+            obs(1, 0, title="shared site", server="nginx", simhash=HASH),
+            obs(2, 0, title="only in a", simhash=HASH >> 5),
+        ])
+        dataset_b = make_dataset([
+            obs(9, 0, title=title_b, server="nginx", simhash=hash_b),
+        ])
+        cluster = WebpageClusterer(level2_threshold=3).cluster
+        return dataset_a, cluster(dataset_a), dataset_b, cluster(dataset_b)
+
+    def test_identical_content_matches(self):
+        overlap = find_cross_cloud_clusters(*self.build(HASH))
+        assert overlap.count == 1
+        match = overlap.matches[0]
+        assert match.title == "shared site"
+        assert match.same_footprint
+
+    def test_nearby_simhash_matches(self):
+        overlap = find_cross_cloud_clusters(*self.build(HASH ^ 0b111))
+        assert overlap.count == 1
+
+    def test_distant_simhash_rejected(self):
+        overlap = find_cross_cloud_clusters(
+            *self.build(HASH ^ ((1 << 40) - 1))
+        )
+        assert overlap.count == 0
+
+    def test_different_key_rejected(self):
+        overlap = find_cross_cloud_clusters(
+            *self.build(HASH, title_b="different title")
+        )
+        assert overlap.count == 0
+
+    def test_footprint_gap(self):
+        dataset_a = make_dataset([
+            obs(ip, 0, title="big in a", server="x", simhash=HASH)
+            for ip in range(5)
+        ])
+        dataset_b = make_dataset([
+            obs(9, 0, title="big in a", server="x", simhash=HASH),
+        ])
+        cluster = WebpageClusterer(level2_threshold=3).cluster
+        overlap = find_cross_cloud_clusters(
+            dataset_a, cluster(dataset_a), dataset_b, cluster(dataset_b)
+        )
+        match = overlap.matches[0]
+        assert not match.same_footprint
+        assert match.size_gap == pytest.approx(4.0)
+        assert overlap.largest_gap() is match
+
+    def test_empty_overlap(self):
+        overlap = find_cross_cloud_clusters(
+            *self.build(HASH, title_b="different title")
+        )
+        assert overlap.same_footprint_share() == 0.0
+        assert overlap.largest_gap() is None
+
+
+class TestLinkClouds:
+    @pytest.fixture(scope="class")
+    def linked_campaigns(self):
+        ec2 = ec2_scenario(total_ips=2048, seed=7, duration_days=24)
+        azure = azure_scenario(total_ips=1024, seed=11, duration_days=24)
+        linked = link_clouds(ec2, azure, shared_services=8, seed=1)
+        days = list(range(0, 24, 4))
+        return (
+            linked,
+            Campaign(ec2).run(scan_days=days),
+            Campaign(azure).run(scan_days=days),
+        )
+
+    def test_link_count(self, linked_campaigns):
+        linked, _, _ = linked_campaigns
+        assert linked >= 8          # 8 small services + the VPN mirror
+
+    def test_overlap_found(self, linked_campaigns):
+        linked, ec2_result, azure_result = linked_campaigns
+        overlap = find_cross_cloud_clusters(
+            ec2_result.dataset, ec2_result.clustering(),
+            azure_result.dataset, azure_result.clustering(),
+        )
+        # Most linked services are recovered (some may be unlucky —
+        # transient hosts, robots, fetch failures).
+        assert overlap.count >= linked * 0.5
+        # §8.1: the bulk of shared clusters keep the same footprint.
+        assert overlap.same_footprint_share() > 50.0
+
+    def test_vpn_mirror_has_gap(self, linked_campaigns):
+        """The EC2 VPN giant mirrors into Azure with a tiny footprint,
+        creating the paper's one large size gap."""
+        _, ec2_result, azure_result = linked_campaigns
+        overlap = find_cross_cloud_clusters(
+            ec2_result.dataset, ec2_result.clustering(),
+            azure_result.dataset, azure_result.clustering(),
+        )
+        gap = overlap.largest_gap()
+        if gap is None:
+            pytest.skip("no overlap at this seed")
+        assert gap.size_gap >= 0.0

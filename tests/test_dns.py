@@ -1,0 +1,97 @@
+"""Tests for the simulated EC2-style DNS (§5 cartography semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.addressing import int_to_ip
+from repro.cloudsim.dns import CloudDns, public_hostname
+from repro.cloudsim.population import WorkloadSpec
+from repro.cloudsim.providers import EC2_SPEC, NetKind
+from repro.cloudsim.services import PORT_PROFILES_EC2
+from repro.cloudsim.simulation import CloudSimulation
+from repro.cloudsim.software import EC2_CATALOG
+
+
+@pytest.fixture(scope="module")
+def world():
+    topology = EC2_SPEC.build(2048, seed=23)
+    sim = CloudSimulation(
+        topology,
+        WorkloadSpec(cloud="EC2", duration_days=20),
+        EC2_CATALOG,
+        PORT_PROFILES_EC2,
+        seed=23,
+    )
+    return topology, sim, CloudDns(topology, sim)
+
+
+class TestHostname:
+    def test_format(self):
+        ip = (54 << 24) | (12 << 16) | (3 << 8) | 4
+        assert public_hostname(ip) == "ec2-54-12-3-4.compute-1.amazonaws.com"
+
+    def test_region_suffix(self):
+        ip = 54 << 24
+        assert "eu-west-1" in public_hostname(ip, "eu-west-1")
+
+
+class TestResolve:
+    def test_vpc_ip_returns_public_address(self, world):
+        """VPC IPs always resolve to their public address, active or not."""
+        topology, sim, dns = world
+        vpc_ip = next(
+            a for a in topology.space.addresses()
+            if topology.kind_of(a) == NetKind.VPC
+        )
+        answer = dns.resolve(public_hostname(vpc_ip))
+        assert answer.kind == "A"
+        assert answer.address == vpc_ip
+        assert dns.in_public_space(answer.address)
+
+    def test_idle_classic_ip_soa(self, world):
+        topology, sim, dns = world
+        assigned = set(sim.assignments())
+        idle_classic = next(
+            a for a in topology.space.addresses()
+            if topology.kind_of(a) == NetKind.CLASSIC and a not in assigned
+        )
+        assert dns.resolve(public_hostname(idle_classic)).is_soa
+
+    def test_active_classic_ip_private_answer(self, world):
+        topology, sim, dns = world
+        active_classic = next(
+            ip for ip in sim.assignments()
+            if topology.kind_of(ip) == NetKind.CLASSIC
+        )
+        answer = dns.resolve(public_hostname(active_classic))
+        assert answer.kind == "A"
+        assert not dns.in_public_space(answer.address)
+        assert int_to_ip(answer.address).startswith("10.")
+
+    def test_outside_space_soa(self, world):
+        _, _, dns = world
+        assert dns.resolve("ec2-9-9-9-9.compute-1.amazonaws.com").is_soa
+
+    def test_malformed_hostnames(self, world):
+        _, _, dns = world
+        assert dns.resolve("www.example.com").is_soa
+        assert dns.resolve("ec2-1-2-3.compute-1.amazonaws.com").is_soa
+        assert dns.resolve("ec2-999-1-1-1.compute-1.amazonaws.com").is_soa
+
+    def test_query_counter(self, world):
+        topology, _, _ = world
+        dns = CloudDns(topology)
+        dns.resolve("www.example.com")
+        dns.resolve("www.example.org")
+        assert dns.query_count == 2
+
+    def test_without_simulation_classic_is_soa(self, world):
+        """A DNS view with no activity data treats classic as idle."""
+        topology, _, _ = world
+        dns = CloudDns(topology)
+        classic = next(
+            a for a in topology.space.addresses()
+            if topology.kind_of(a) == NetKind.CLASSIC
+        )
+        assert dns.resolve(public_hostname(classic)).is_soa

@@ -1,0 +1,202 @@
+"""Tests for the usage-dynamics analyses (Tables 3-7, Figures 8-10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.clustering import WebpageClusterer
+from repro.analysis.dynamics import DynamicsAnalyzer, SeriesSummary
+
+from _obs import make_dataset, obs
+
+
+class TestSeriesSummary:
+    def test_statistics(self):
+        summary = SeriesSummary.of([10.0, 20.0, 30.0])
+        assert summary.minimum == 10
+        assert summary.maximum == 30
+        assert summary.average == 20
+        assert summary.growth == 20
+        assert summary.growth_pct == pytest.approx(200.0)
+        assert summary.std_dev == pytest.approx(8.1649, rel=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesSummary.of([])
+
+    def test_zero_start_growth(self):
+        assert SeriesSummary.of([0.0, 5.0]).growth_pct == 0.0
+
+
+def simple_dataset():
+    return make_dataset(
+        [
+            # round 0: ips 1,2 responsive; 1 available
+            obs(1, 0, title="a", simhash=10),
+            obs(2, 0, title="b", simhash=1 << 90, status_code=None,
+                has_page=False, port_profile="22-only"),
+            # round 1: ip 1 still there, ip 3 appears
+            obs(1, 1, title="a", simhash=10),
+            obs(3, 1, title="c", simhash=1 << 50),
+        ],
+        targets_probed=10,
+    )
+
+
+class TestSeries:
+    def test_responsive_series(self):
+        analyzer = DynamicsAnalyzer(simple_dataset())
+        assert analyzer.responsive_series() == [2, 2]
+
+    def test_available_series(self):
+        analyzer = DynamicsAnalyzer(simple_dataset())
+        assert analyzer.available_series() == [1, 2]
+
+    def test_cluster_series(self):
+        dataset = simple_dataset()
+        clustering = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        analyzer = DynamicsAnalyzer(dataset, clustering)
+        assert analyzer.cluster_series() == [1, 2]
+
+    def test_cluster_series_requires_clustering(self):
+        with pytest.raises(ValueError):
+            DynamicsAnalyzer(simple_dataset()).cluster_series()
+
+    def test_usage_summary_keys(self):
+        dataset = simple_dataset()
+        clustering = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        summary = DynamicsAnalyzer(dataset, clustering).usage_summary()
+        assert set(summary) == {"responsive", "available", "clusters"}
+
+
+class TestTables:
+    def test_port_profile_table(self):
+        analyzer = DynamicsAnalyzer(simple_dataset())
+        table = analyzer.port_profile_table()
+        assert table["22-only"] == pytest.approx(25.0)   # 1 of 2, 0 of 2
+        assert table["80-only"] == pytest.approx(75.0)
+        assert table["443-only"] == 0.0
+
+    def test_status_code_table_sums_to_100(self):
+        analyzer = DynamicsAnalyzer(simple_dataset())
+        table = analyzer.status_code_table()
+        assert sum(table.values()) == pytest.approx(100.0)
+        assert table["200"] == 100.0
+
+    def test_content_type_table(self):
+        dataset = make_dataset([
+            obs(1, 0, title="a", simhash=1),
+            obs(2, 0, title="b", simhash=2, content_type="application/json"),
+            obs(3, 0, title="c", simhash=3),
+        ])
+        table = dict(DynamicsAnalyzer(dataset).content_type_table())
+        assert table["text/html"] == pytest.approx(66.67, rel=1e-2)
+        assert table["application/json"] == pytest.approx(33.33, rel=1e-2)
+
+
+class TestChurn:
+    def test_churn_series(self):
+        dataset = make_dataset(
+            [
+                obs(1, 0, title="a", simhash=1),
+                obs(2, 0, title="b", simhash=1 << 40),
+                # round 1: ip 2 gone (responsive churn), ip 1 stays
+                obs(1, 1, title="a", simhash=1),
+            ],
+            targets_probed=10,
+        )
+        series = DynamicsAnalyzer(dataset).churn_series()
+        assert len(series) == 1
+        entry = series[0]
+        assert entry["responsiveness"] == pytest.approx(10.0)  # 1 of 10
+        assert entry["availability"] == pytest.approx(10.0)
+        assert entry["responsiveness_relative"] == pytest.approx(50.0)
+
+    def test_availability_flip_counted(self):
+        dataset = make_dataset(
+            [
+                obs(1, 0, title="a", simhash=1),
+                obs(1, 1, title="a", simhash=1, status_code=None,
+                    has_page=False),
+            ],
+            targets_probed=10,
+        )
+        entry = DynamicsAnalyzer(dataset).churn_series()[0]
+        assert entry["responsiveness"] == 0.0
+        assert entry["availability"] == pytest.approx(10.0)
+
+    def test_cluster_change_counted(self):
+        big_hash_a = 0
+        big_hash_b = (1 << 96) - 1
+        dataset = make_dataset(
+            [
+                obs(1, 0, title="site-a", simhash=big_hash_a),
+                obs(9, 0, title="site-b", simhash=big_hash_b),
+                obs(1, 1, title="site-b", simhash=big_hash_b),
+                obs(9, 1, title="site-b", simhash=big_hash_b),
+            ],
+            targets_probed=10,
+        )
+        clustering = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        entry = DynamicsAnalyzer(dataset, clustering).churn_series()[0]
+        assert entry["cluster"] == pytest.approx(10.0)  # ip 1 changed
+
+    def test_churn_rates_need_two_rounds(self):
+        dataset = make_dataset([obs(1, 0, title="a", simhash=1)])
+        with pytest.raises(ValueError):
+            DynamicsAnalyzer(dataset).churn_rates()
+
+
+class TestClusterAvailabilityChange:
+    def test_flip_detected(self):
+        dataset = make_dataset(
+            [
+                obs(1, 0, title="a", simhash=1),
+                obs(2, 0, title="b", simhash=1 << 40),
+                obs(1, 1, title="a", simhash=1),
+                # cluster b absent in round 1 -> one flip of two clusters
+            ],
+            targets_probed=10,
+        )
+        clustering = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        series = DynamicsAnalyzer(dataset, clustering).cluster_change_series()
+        assert series == [pytest.approx(50.0)]
+
+
+class TestCampaignSanity:
+    """Shape checks on the simulated EC2 campaign (paper's §8.1 bands)."""
+
+    def test_occupancy_band(self, ec2_campaign, ec2_dataset):
+        analyzer = DynamicsAnalyzer(ec2_dataset)
+        average = sum(analyzer.responsive_series()) / len(
+            analyzer.responsive_series()
+        )
+        share = average / analyzer.space_size()
+        assert 0.15 < share < 0.35          # paper: 23.7%
+
+    def test_available_below_responsive(self, ec2_dataset):
+        analyzer = DynamicsAnalyzer(ec2_dataset)
+        for responsive, available in zip(
+            analyzer.responsive_series(), analyzer.available_series()
+        ):
+            assert available < responsive
+
+    def test_churn_band(self, ec2_dataset, ec2_clustering):
+        analyzer = DynamicsAnalyzer(ec2_dataset, ec2_clustering)
+        rates = analyzer.churn_rates()
+        assert 0.5 < rates.overall < 6.0     # paper: ~3.0%
+        assert rates.cluster < rates.responsiveness
+
+    def test_port_profiles_shape(self, ec2_dataset):
+        table = DynamicsAnalyzer(ec2_dataset).port_profile_table()
+        assert table["80-only"] > table["443-only"]  # Table 3 ordering
+        assert sum(table.values()) == pytest.approx(100.0, abs=0.5)
+
+    def test_status_distribution_shape(self, ec2_dataset):
+        table = DynamicsAnalyzer(ec2_dataset).status_code_table()
+        assert table["200"] > table["4xx"] > table["5xx"]  # Table 4
+
+    def test_content_types_html_dominates(self, ec2_dataset):
+        table = DynamicsAnalyzer(ec2_dataset).content_type_table()
+        assert table[0][0] == "text/html"
+        assert table[0][1] > 90.0            # Table 5: 95.9%

@@ -1,0 +1,61 @@
+"""Tests for CSV figure-data export."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.analysis import Cartographer, FigureExporter
+
+
+class TestFigureExporter:
+    def test_export_all(self, tmp_path, ec2_campaign, ec2_dataset,
+                        ec2_clustering):
+        scenario = ec2_campaign.scenario
+        cartography = Cartographer(
+            scenario.topology, scenario.dns
+        ).map_prefixes(sample_per_prefix=2)
+        exporter = FigureExporter(
+            ec2_dataset, ec2_clustering, cartography=cartography
+        )
+        written = exporter.export_all(tmp_path)
+        assert len(written) == 6
+        for path in written:
+            assert path.exists()
+            with path.open() as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 2          # header + data
+
+    def test_fig08_matches_analyzer(self, tmp_path, ec2_dataset,
+                                    ec2_clustering):
+        from repro.analysis import DynamicsAnalyzer
+
+        exporter = FigureExporter(ec2_dataset, ec2_clustering)
+        path = exporter.export_fig08(tmp_path / "f8.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        dynamics = DynamicsAnalyzer(ec2_dataset, ec2_clustering)
+        assert [int(r["responsive_ips"]) for r in rows] == \
+            dynamics.responsive_series()
+        assert [int(r["day"]) for r in rows] == [
+            ec2_dataset.timestamp_of(rid) for rid in ec2_dataset.round_ids
+        ]
+
+    def test_fig12_cdf_monotone(self, tmp_path, ec2_dataset, ec2_clustering):
+        exporter = FigureExporter(ec2_dataset, ec2_clustering)
+        path = exporter.export_fig12(tmp_path / "f12.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        cdf = [float(r["cdf"]) for r in rows]
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == 1.0
+        uptimes = [float(r["avg_ip_uptime_pct"]) for r in rows]
+        assert uptimes == sorted(uptimes)
+
+    def test_without_cartography_skips_vpc_figures(self, tmp_path,
+                                                   ec2_dataset,
+                                                   ec2_clustering):
+        exporter = FigureExporter(ec2_dataset, ec2_clustering)
+        written = exporter.export_all(tmp_path)
+        names = {p.name for p in written}
+        assert "fig13_vpc_timeseries.csv" not in names
+        assert len(written) == 4

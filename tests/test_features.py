@@ -1,0 +1,124 @@
+"""Tests for the per-page feature extraction (§4's ten features)."""
+
+from __future__ import annotations
+
+from repro.core.features import FeatureExtractor, extract_links
+from repro.core.records import UNKNOWN, FetchResult, FetchStatus
+from repro.core.simhash import simhash
+
+PAGE = """
+<html><head>
+<title>  My   Shop  </title>
+<meta name="description" content="great deals online">
+<meta name="keywords" content="shop,deals,cheap">
+<meta name="generator" content="WordPress 3.5.1">
+</head><body>
+<a href="http://example.com/page">link</a>
+<a href="https://other.example.org/x?y=1">other</a>
+<a href="/relative/path">rel</a>
+<script>var _gaq=[['_setAccount', 'UA-123456-2']];</script>
+</body></html>
+"""
+
+HEADERS = {
+    "Server": "Apache/2.2.22",
+    "X-Powered-By": "PHP/5.3.10",
+    "Content-Type": "text/html",
+    "Date": "x",
+}
+
+
+def fetch(body: str | None = PAGE, headers=None) -> FetchResult:
+    return FetchResult(
+        ip=1,
+        status=FetchStatus.OK,
+        status_code=200,
+        headers=HEADERS if headers is None else headers,
+        body=body,
+    )
+
+
+class TestFeatureExtraction:
+    def test_all_ten_features(self):
+        features = FeatureExtractor().extract(fetch())
+        assert features.powered_by == "PHP/5.3.10"             # (1)
+        assert features.description == "great deals online"     # (2)
+        assert features.header_string == (                      # (3)
+            "content-type#date#server#x-powered-by"
+        )
+        assert features.html_length == len(PAGE)                # (4)
+        assert features.title == "My Shop"                      # (5)
+        assert features.template == "WordPress 3.5.1"           # (6)
+        assert features.server == "Apache/2.2.22"               # (7)
+        assert features.keywords == "shop,deals,cheap"          # (8)
+        assert features.analytics_id == "UA-123456-2"           # (9)
+        assert features.simhash == simhash(PAGE)                # (10)
+
+    def test_missing_marked_unknown(self):
+        features = FeatureExtractor().extract(
+            fetch(body="<html><body>plain</body></html>", headers={})
+        )
+        assert features.title == UNKNOWN
+        assert features.description == UNKNOWN
+        assert features.keywords == UNKNOWN
+        assert features.template == UNKNOWN
+        assert features.analytics_id == UNKNOWN
+        assert features.server == UNKNOWN
+        assert features.powered_by == UNKNOWN
+        assert features.header_string == UNKNOWN
+
+    def test_empty_body(self):
+        features = FeatureExtractor().extract(fetch(body=""))
+        assert features.simhash == 0
+        assert features.html_length == 0
+
+    def test_header_lookup_case_insensitive(self):
+        features = FeatureExtractor().extract(
+            fetch(headers={"SERVER": "nginx", "x-powered-by": "Express"})
+        )
+        assert features.server == "nginx"
+        assert features.powered_by == "Express"
+
+    def test_level1_key(self):
+        features = FeatureExtractor().extract(fetch())
+        assert features.level1_key() == (
+            "My Shop",
+            "WordPress 3.5.1",
+            "Apache/2.2.22",
+            "shop,deals,cheap",
+            "UA-123456-2",
+        )
+
+    def test_title_whitespace_collapsed(self):
+        features = FeatureExtractor().extract(
+            fetch(body="<title>a\n\n  b</title>")
+        )
+        assert features.title == "a b"
+
+    def test_simhash_memoized(self):
+        extractor = FeatureExtractor()
+        first = extractor.extract(fetch())
+        second = extractor.extract(fetch())
+        assert first.simhash == second.simhash
+        assert len(extractor._simhash_cache) == 1
+
+    def test_ga_id_formats(self):
+        features = FeatureExtractor().extract(
+            fetch(body="<html>UA-9999-1</html>")
+        )
+        assert features.analytics_id == "UA-9999-1"
+
+
+class TestExtractLinks:
+    def test_absolute_links_only(self):
+        links = extract_links(PAGE)
+        assert links == [
+            "http://example.com/page",
+            "https://other.example.org/x?y=1",
+        ]
+
+    def test_no_links(self):
+        assert extract_links("<html></html>") == []
+
+    def test_single_quotes(self):
+        assert extract_links("<a href='http://a.b/c'>x</a>") == ["http://a.b/c"]

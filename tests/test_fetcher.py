@@ -1,0 +1,183 @@
+"""Tests for the webpage fetcher (§4 semantics, §7 robots handling)."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.config import FetchConfig
+from repro.core.fetcher import Fetcher, parse_robots
+from repro.core.records import FetchStatus, ProbeOutcome, ProbeStatus
+
+from _fakes import FakeTransport
+
+
+def outcome(ip: int, ports) -> ProbeOutcome:
+    return ProbeOutcome(
+        ip=ip, status=ProbeStatus.RESPONSIVE, open_ports=frozenset(ports)
+    )
+
+
+class TestParseRobots:
+    def test_empty_allows(self):
+        assert parse_robots("")
+
+    def test_disallow_all(self):
+        assert not parse_robots("User-agent: *\nDisallow: /\n")
+
+    def test_disallow_subpath_allows_root(self):
+        assert parse_robots("User-agent: *\nDisallow: /private\n")
+
+    def test_empty_disallow_allows(self):
+        assert parse_robots("User-agent: *\nDisallow:\n")
+
+    def test_other_agent_group_ignored(self):
+        body = "User-agent: googlebot\nDisallow: /\n"
+        assert parse_robots(body, user_agent="WhoWas-research-scanner/1.0")
+
+    def test_matching_agent_group_applies(self):
+        body = "User-agent: whowas\nDisallow: /\n"
+        assert not parse_robots(body, user_agent="WhoWas-research-scanner/1.0")
+
+    def test_comments_ignored(self):
+        body = "# nothing to see\nUser-agent: *  # all\nDisallow: /private\n"
+        assert parse_robots(body)
+
+
+class TestFetchIp:
+    def test_fetches_page(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80}, body="<html><title>x</title></html>")
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.OK
+        assert result.status_code == 200
+        assert "title" in (result.body or "")
+        assert result.url.startswith("http://")
+
+    def test_https_only_host_uses_https(self):
+        transport = FakeTransport()
+        transport.add_host(1, {443})
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {443})))
+        assert result.url.startswith("https://")
+
+    def test_ssh_only_not_attempted(self):
+        fetcher = Fetcher(FakeTransport())
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {22})))
+        assert result.status is FetchStatus.NOT_ATTEMPTED
+
+    def test_robots_disallow_respected(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80}, robots_body="User-agent: *\nDisallow: /\n")
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.ROBOTS_DISALLOWED
+        assert result.body is None
+        # Only robots.txt was requested, never the page.
+        assert transport.get_calls == [(1, "http", "/robots.txt")]
+
+    def test_robots_can_be_disabled(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80}, robots_body="User-agent: *\nDisallow: /\n")
+        fetcher = Fetcher(transport, FetchConfig(respect_robots=False))
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.OK
+
+    def test_at_most_two_gets(self):
+        """§4: at most two GETs per IP per round."""
+        transport = FakeTransport()
+        transport.add_host(1, {80})
+        fetcher = Fetcher(transport)
+        asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert len(transport.get_calls) == 2
+
+    def test_error_recorded(self):
+        transport = FakeTransport()
+        transport.open_ports[1] = {80}
+        transport.errors[1] = "connection reset"
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.ERROR
+        assert "connection reset" in (result.error or "")
+
+    def test_binary_content_not_stored(self):
+        """§4: application/* (and media) bodies are never stored."""
+        transport = FakeTransport()
+        transport.add_host(1, {80}, body="PDFPDF",
+                           content_type="application/pdf")
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.OK
+        assert result.body is None
+
+    def test_json_content_stored(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80}, body='{"a": 1}',
+                           content_type="application/json")
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.body == '{"a": 1}'
+
+    def test_body_truncated_to_cap(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80}, body="x" * 4096)
+        fetcher = Fetcher(transport, FetchConfig(max_body_bytes=1024))
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert len(result.body or "") == 1024
+
+    def test_fetch_many_preserves_order(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80}, body="one")
+        transport.add_host(2, {80}, body="two")
+        fetcher = Fetcher(transport)
+        results = fetcher.fetch_sync([outcome(2, {80}), outcome(1, {80})])
+        assert [r.ip for r in results] == [2, 1]
+        assert results[0].body == "two"
+
+    def test_user_agent_sent(self):
+        captured = {}
+
+        class RecordingTransport(FakeTransport):
+            async def get(self, ip, scheme, path, *, timeout, max_body,
+                          headers=None):
+                captured["headers"] = headers
+                return await super().get(
+                    ip, scheme, path, timeout=timeout, max_body=max_body
+                )
+
+        transport = RecordingTransport()
+        transport.add_host(1, {80})
+        fetcher = Fetcher(transport)
+        asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert "WhoWas" in captured["headers"]["User-Agent"]
+
+
+class TestRobotsErrorPaths:
+    def test_unreachable_robots_allows_fetch(self):
+        """A robots.txt connection failure must not block the fetch."""
+        class FlakyRobotsTransport(FakeTransport):
+            async def get(self, ip, scheme, path, *, timeout, max_body,
+                          headers=None):
+                if path == "/robots.txt":
+                    from repro.core.transport import TransportError
+
+                    raise TransportError("reset")
+                return await super().get(
+                    ip, scheme, path, timeout=timeout, max_body=max_body
+                )
+
+        transport = FlakyRobotsTransport()
+        transport.add_host(1, {80}, body="<html>ok</html>")
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.OK
+
+    def test_robots_500_allows_fetch(self):
+        from repro.core.transport import HttpResponse
+
+        transport = FakeTransport()
+        transport.add_host(1, {80})
+        transport.robots[1] = HttpResponse(500, {}, b"oops")
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.OK

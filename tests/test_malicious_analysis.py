@@ -1,0 +1,155 @@
+"""Tests for the malicious-activity analyses (§8.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.malicious import (
+    MaliciousIp,
+    SafeBrowsingAnalyzer,
+    VirusTotalAnalyzer,
+)
+from repro.cloudsim.blacklist import SafeBrowsingSim, VirusTotalSim
+
+
+@pytest.fixture(scope="module")
+def sb_findings(ec2_campaign):
+    safe_browsing = SafeBrowsingSim(
+        ec2_campaign.scenario.simulation, seed=1, coverage=1.0,
+        mean_lag_days=1.0,
+    )
+    analyzer = SafeBrowsingAnalyzer(
+        ec2_campaign.dataset, safe_browsing, ec2_campaign.clustering()
+    )
+    return analyzer.scan()
+
+
+@pytest.fixture(scope="module")
+def vt_findings(ec2_campaign):
+    virustotal = VirusTotalSim(
+        ec2_campaign.scenario.simulation, seed=2, engine_coverage=0.9,
+        mean_lag_days=1.0,
+    )
+    analyzer = VirusTotalAnalyzer(
+        ec2_campaign.dataset,
+        virustotal,
+        ec2_campaign.clustering(),
+        region_of=ec2_campaign.scenario.topology.region_of,
+    )
+    return analyzer.analyze()
+
+
+class TestMaliciousIp:
+    def test_lifetime(self):
+        record = MaliciousIp(ip=1, malicious_days=[3, 6, 12])
+        assert record.lifetime_days == 10
+
+    def test_empty_lifetime(self):
+        assert MaliciousIp(ip=1).lifetime_days == 0
+
+    def test_linchpin_threshold(self):
+        small = MaliciousIp(ip=1, urls={f"u{i}" for i in range(5)})
+        big = MaliciousIp(ip=1, urls={f"u{i}" for i in range(25)})
+        assert not small.is_linchpin
+        assert big.is_linchpin
+
+
+class TestSafeBrowsingAnalyzer:
+    def test_finds_embedders(self, sb_findings, ec2_campaign):
+        """Every discovered malicious IP must truly belong to a
+        malicious embedder (no false positives by construction)."""
+        assert sb_findings.malicious_ips
+        simulation = ec2_campaign.scenario.simulation
+        dataset = ec2_campaign.dataset
+        for ip, record in sb_findings.malicious_ips.items():
+            owners = {
+                simulation.log.owner_on(ip, day)
+                for day in record.malicious_days
+            }
+            assert any(
+                owner is not None
+                and simulation.services[owner].malicious is not None
+                and simulation.services[owner].malicious.on_page
+                for owner in owners
+            )
+        del dataset
+
+    def test_categories(self, sb_findings):
+        assert sb_findings.malware_pages + sb_findings.phishing_pages == len(
+            sb_findings.malicious_ips
+        )
+
+    def test_linchpin_found(self, sb_findings):
+        """The scenario plants one linchpin service (>= 20 URLs/page)."""
+        assert sb_findings.linchpins()
+
+    def test_lifetimes_sorted(self, sb_findings):
+        lifetimes = sb_findings.lifetimes()
+        assert lifetimes == sorted(lifetimes)
+        assert all(v >= 1 for v in lifetimes)
+
+    def test_clusters_attached(self, sb_findings):
+        assert sb_findings.clusters
+
+    def test_lifetimes_by_kind(self, sb_findings, ec2_campaign):
+        analyzer_kind = ec2_campaign.scenario.topology.kind_of
+        analyzer = SafeBrowsingAnalyzer(
+            ec2_campaign.dataset,
+            SafeBrowsingSim(ec2_campaign.scenario.simulation, seed=1),
+        )
+        split = analyzer.lifetimes_by_kind(sb_findings, analyzer_kind)
+        assert set(split) == {"classic", "vpc"}
+        total = len(split["classic"]) + len(split["vpc"])
+        assert total == len(sb_findings.malicious_ips)
+
+
+class TestVirusTotalAnalyzer:
+    def test_finds_hosters(self, vt_findings, ec2_campaign):
+        assert vt_findings.malicious_ip_count > 0
+        simulation = ec2_campaign.scenario.simulation
+        for ip in vt_findings.reports:
+            owners = {
+                interval.service_id
+                for interval in simulation.log.intervals_for_ip(ip)
+            }
+            assert any(
+                simulation.services[o].category in ("vt-hoster", "web+vt")
+                for o in owners
+            )
+
+    def test_region_table(self, vt_findings, ec2_campaign):
+        table = vt_findings.region_month_table()
+        regions = {r.name for r in ec2_campaign.scenario.topology.space.regions}
+        assert set(table) <= regions
+        assert sum(sum(m.values()) for m in table.values()) >= \
+            vt_findings.malicious_ip_count
+
+    def test_top_domains_ranked(self, vt_findings):
+        top = vt_findings.top_domains(10)
+        assert top
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_behaviour_types_valid(self, vt_findings):
+        assert set(vt_findings.behaviour_types.values()) <= {1, 2, 3}
+
+    def test_lag_values_nonnegative(self, vt_findings):
+        for kind in (1, 2, 3):
+            assert all(v >= 0 for v in vt_findings.lag_before[kind])
+            assert all(v >= 0 for v in vt_findings.lag_after[kind])
+
+    def test_spread_labels_exclude_reported(self, vt_findings):
+        for seed_ip, extras in vt_findings.spread_labels.items():
+            assert seed_ip not in extras
+            assert not extras & set(vt_findings.reports)
+
+    def test_consensus_rule_filters(self, ec2_campaign):
+        """min_engines above the engine count finds nothing."""
+        virustotal = VirusTotalSim(
+            ec2_campaign.scenario.simulation, seed=2
+        )
+        analyzer = VirusTotalAnalyzer(
+            ec2_campaign.dataset, virustotal,
+            min_engines=len(VirusTotalSim.ENGINES) + 1,
+        )
+        assert analyzer.collect_reports() == {}

@@ -1,0 +1,212 @@
+"""Tests for the simulated transport (the cloud's network face)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.transport import TransportError
+from repro.cloudsim.population import WorkloadSpec
+from repro.cloudsim.providers import EC2_SPEC
+from repro.cloudsim.network import SimulatedTransport
+from repro.cloudsim.services import PORT_PROFILES_EC2
+from repro.cloudsim.simulation import CloudSimulation
+from repro.cloudsim.software import EC2_CATALOG
+
+
+@pytest.fixture(scope="module")
+def sim() -> CloudSimulation:
+    workload = WorkloadSpec(cloud="EC2", duration_days=30,
+                            malicious_embedders=5)
+    topology = EC2_SPEC.build(2048, seed=17)
+    return CloudSimulation(
+        topology, workload, EC2_CATALOG, PORT_PROFILES_EC2, seed=17
+    )
+
+
+@pytest.fixture()
+def transport(sim) -> SimulatedTransport:
+    return SimulatedTransport(sim)
+
+
+def find_service(sim, predicate):
+    for service in sim.live_services():
+        if predicate(service) and sim.footprint(service.service_id):
+            return service, sim.footprint(service.service_id)[0]
+    pytest.skip("no matching service at this seed")
+
+
+def probe(transport, ip, port, timeout=2.0):
+    return asyncio.run(transport.probe(ip, port, timeout))
+
+
+def get(transport, ip, path="/", scheme="http"):
+    return asyncio.run(
+        transport.get(ip, scheme, path, timeout=10.0, max_body=512 * 1024)
+    )
+
+
+class TestProbe:
+    def test_idle_ip_unresponsive(self, sim, transport):
+        assigned = set(sim.assignments())
+        idle = next(a for a in sim.topology.space.addresses()
+                    if a not in assigned)
+        assert not probe(transport, idle, 80)
+
+    def test_open_and_closed_ports(self, sim, transport):
+        service, ip = find_service(
+            sim, lambda s: s.port_profile.value == "80-only"
+        )
+        if sim.probe_latency(ip, sim.day) > 2.0 or sim.is_flaky(ip, sim.day):
+            pytest.skip("transient host drawn")
+        assert probe(transport, ip, 80)
+        assert not probe(transport, ip, 443)
+
+    def test_slow_host_misses_short_timeout(self, sim, transport):
+        slow = None
+        for ip in sim.assignments():
+            if 2.0 < sim.probe_latency(ip, sim.day) <= 8.0:
+                slow = ip
+                break
+        if slow is None:
+            pytest.skip("no slow host at this seed")
+        assert not probe(transport, slow, list(sim.host_state(slow).open_ports)[0], 2.0)
+        port = next(iter(sim.host_state(slow).open_ports))
+        assert probe(transport, slow, port, 8.0) or sim.is_flaky(slow, sim.day)
+
+    def test_probe_counter(self, sim, transport):
+        ip = next(iter(sim.assignments()))
+        probe(transport, ip, 80)
+        probe(transport, ip, 443)
+        assert transport.probe_count == 2
+
+
+class TestGet:
+    def test_page_response(self, sim, transport):
+        service, ip = find_service(
+            sim,
+            lambda s: s.serves_web and s.profile.status_code == 200
+            and not s.profile.robots_disallow
+            and s.profile.content_type == "text/html"
+            and s.availability >= 0.99 and 80 in s.port_profile.open_ports,
+        )
+        response = get(transport, ip)
+        assert response.status_code == 200
+        assert service.profile.title in response.body.decode()
+        assert response.content_type == "text/html"
+
+    def test_headers_carry_stack(self, sim, transport):
+        service, ip = find_service(
+            sim,
+            lambda s: s.serves_web and s.stack is not None and s.stack.server
+            and s.availability >= 0.99 and s.profile.status_code == 200
+            and 80 in s.port_profile.open_ports,
+        )
+        response = get(transport, ip)
+        assert response.header("Server") == service.stack.server
+
+    def test_error_service_status(self, sim, transport):
+        service, ip = find_service(
+            sim,
+            lambda s: s.serves_web and s.profile.status_code == 404
+            and s.availability >= 0.99 and 80 in s.port_profile.open_ports,
+        )
+        response = get(transport, ip)
+        assert response.status_code == 404
+
+    def test_robots_disallow(self, sim, transport):
+        service, ip = find_service(
+            sim,
+            lambda s: s.serves_web and s.profile.robots_disallow
+            and s.availability >= 0.99 and 80 in s.port_profile.open_ports,
+        )
+        response = get(transport, ip, "/robots.txt")
+        assert response.status_code == 200
+        assert b"Disallow: /" in response.body
+
+    def test_robots_absent_404(self, sim, transport):
+        service, ip = find_service(
+            sim,
+            lambda s: s.serves_web and not s.profile.robots_disallow
+            and s.availability >= 0.99 and 80 in s.port_profile.open_ports,
+        )
+        response = get(transport, ip, "/robots.txt")
+        assert response.status_code == 404
+
+    def test_idle_ip_refuses(self, sim, transport):
+        assigned = set(sim.assignments())
+        idle = next(a for a in sim.topology.space.addresses()
+                    if a not in assigned)
+        with pytest.raises(TransportError):
+            get(transport, idle)
+
+    def test_ssh_only_resets(self, sim, transport):
+        service, ip = find_service(
+            sim, lambda s: s.port_profile.value == "22-only"
+        )
+        with pytest.raises(TransportError):
+            get(transport, ip)
+
+    def test_page_cache_stable(self, sim, transport):
+        service, ip = find_service(
+            sim,
+            lambda s: s.serves_web and s.profile.status_code == 200
+            and s.availability >= 0.99 and 80 in s.port_profile.open_ports,
+        )
+        assert get(transport, ip).body == get(transport, ip).body
+
+    def test_malicious_links_on_page(self, sim, transport):
+        found = None
+        for service in sim.live_services():
+            if (service.malicious is not None and service.malicious.on_page
+                    and service.serves_web and service.availability >= 0.99
+                    and 80 in service.port_profile.open_ports
+                    and sim.footprint(service.service_id)):
+                urls = service.malicious.active_urls(
+                    service.day_in_life(sim.day)
+                )
+                if urls:
+                    found = (service, urls)
+                    break
+        if found is None:
+            pytest.skip("no active malicious embedder at this seed")
+        service, urls = found
+        ip = sim.footprint(service.service_id)[0]
+        body = get(transport, ip).body.decode()
+        assert urls[0] in body
+
+
+class TestSubpages:
+    def test_subpage_served(self, sim, transport):
+        service, ip = find_service(
+            sim,
+            lambda s: s.serves_web and s.profile.status_code == 200
+            and s.profile.subpages and s.availability >= 0.99
+            and 80 in s.port_profile.open_ports,
+        )
+        path = service.profile.subpages[0]
+        response = get(transport, ip, path)
+        assert response.status_code == 200
+        assert service.profile.title in response.body.decode()
+
+    def test_unknown_path_404(self, sim, transport):
+        service, ip = find_service(
+            sim,
+            lambda s: s.serves_web and s.profile.status_code == 200
+            and s.availability >= 0.99 and 80 in s.port_profile.open_ports,
+        )
+        response = get(transport, ip, "/definitely-not-a-page")
+        assert response.status_code == 404
+
+    def test_home_links_to_subpages(self, sim, transport):
+        service, ip = find_service(
+            sim,
+            lambda s: s.serves_web and s.profile.status_code == 200
+            and s.profile.subpages and s.availability >= 0.99
+            and s.profile.content_type == "text/html"
+            and 80 in s.port_profile.open_ports,
+        )
+        body = get(transport, ip).body.decode()
+        for path in service.profile.subpages:
+            assert f'href="{path}"' in body

@@ -1,0 +1,161 @@
+"""Tests for service population synthesis."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.cloudsim.population import (
+    GiantSpec,
+    PopulationBuilder,
+    WorkloadSpec,
+)
+from repro.cloudsim.services import Elasticity, PORT_PROFILES_EC2
+from repro.cloudsim.software import EC2_CATALOG
+
+REGIONS = [("east", 0.6), ("west", 0.4)]
+
+
+def builder(spec: WorkloadSpec | None = None, seed: int = 0) -> PopulationBuilder:
+    return PopulationBuilder(
+        spec or WorkloadSpec(cloud="EC2"),
+        EC2_CATALOG,
+        PORT_PROFILES_EC2,
+        REGIONS,
+        supports_vpc=True,
+        rng=random.Random(seed),
+    )
+
+
+class TestBuildInitial:
+    def test_covers_target(self):
+        services = builder().build_initial(500)
+        covered = sum(s.base_size for s in services if s.alive_on(0))
+        assert covered >= 500
+        assert covered < 500 + 350  # no wild overshoot
+
+    def test_mostly_singletons(self):
+        """§8.1: 78.8% of clusters use a single IP on average."""
+        services = builder().build_initial(2000)
+        singles = sum(1 for s in services if s.base_size == 1)
+        assert singles / len(services) > 0.7
+
+    def test_ephemeral_fraction(self):
+        spec = WorkloadSpec(cloud="EC2", ephemeral_fraction=0.114)
+        services = builder(spec).build_initial(2000)
+        ephemeral = [
+            s for s in services
+            if s.death_day is not None and s.birth_day >= 0
+        ]
+        share = len(ephemeral) / len(services)
+        assert 0.05 < share < 0.2
+        assert all(s.death_day - s.birth_day <= 6 for s in ephemeral)
+
+    def test_giants_included(self):
+        spec = WorkloadSpec(
+            cloud="EC2",
+            giants=(
+                GiantSpec("PaaS", 50, 2, "classic", 0.01, 0.99,
+                          Elasticity.STABLE),
+            ),
+        )
+        services = builder(spec).build_initial(300)
+        paas = [s for s in services if s.category == "PaaS"]
+        assert len(paas) == 1
+        assert paas[0].base_size == 50
+        assert len(paas[0].regions) == 2
+
+    def test_networking_mix(self):
+        services = builder().build_initial(3000)
+        networkings = {s.networking for s in services}
+        assert networkings == {"classic", "vpc", "mixed"}
+        classic = sum(1 for s in services if s.networking == "classic")
+        assert classic / len(services) > 0.6
+
+    def test_region_assignment(self):
+        services = builder().build_initial(2000)
+        single_region = sum(1 for s in services if len(s.regions) == 1)
+        assert single_region / len(services) > 0.9  # §8.1: 97%
+        assert all(set(s.regions) <= {"east", "west"} for s in services)
+
+    def test_web_services_have_profiles(self):
+        services = builder().build_initial(1000)
+        for service in services:
+            if service.port_profile.serves_web:
+                assert service.profile is not None
+                assert service.stack is not None
+            else:
+                assert service.profile is None
+                assert service.category == "ssh"
+
+    def test_deterministic(self):
+        a = builder(seed=5).build_initial(400)
+        b = builder(seed=5).build_initial(400)
+        assert [s.base_size for s in a] == [s.base_size for s in b]
+        assert [s.regions for s in a] == [s.regions for s in b]
+
+
+class TestMalicious:
+    def spec(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            cloud="EC2",
+            malicious_embedders=10,
+            malicious_hosters=15,
+            linchpin_services=2,
+        )
+
+    def test_counts(self):
+        services = builder(self.spec()).build_initial(3000)
+        embedders = [
+            s for s in services
+            if s.malicious is not None and s.malicious.on_page
+        ]
+        hosters = [s for s in services if s.category == "vt-hoster"]
+        linchpins = [
+            s for s in services
+            if s.malicious is not None and s.malicious.linchpin
+        ]
+        assert len(embedders) == 12          # 10 embedders + 2 linchpins
+        assert len(hosters) == 15
+        assert len(linchpins) == 2
+
+    def test_linchpin_has_many_urls(self):
+        services = builder(self.spec()).build_initial(3000)
+        linchpin = next(
+            s for s in services
+            if s.malicious is not None and s.malicious.linchpin
+        )
+        assert len(linchpin.malicious.urls) >= 20
+
+    def test_hosters_invisible_on_page(self):
+        services = builder(self.spec()).build_initial(3000)
+        for service in services:
+            if service.category == "vt-hoster":
+                assert service.malicious is not None
+                assert not service.malicious.on_page
+
+
+class TestArrivals:
+    def test_arrival_alive_from_birth(self):
+        b = builder()
+        b.build_initial(200)
+        arrival = b.make_arrival(40)
+        assert arrival.birth_day == 40
+        assert arrival.death_day is None
+        assert arrival.alive_on(40)
+        assert not arrival.alive_on(39)
+
+    def test_arrivals_mostly_singletons(self):
+        b = builder()
+        b.build_initial(200)
+        sizes = [b.make_arrival(10).base_size for _ in range(200)]
+        assert statistics.mean(sizes) < 1.8
+
+    def test_arrival_rate_expectation(self):
+        spec = WorkloadSpec(cloud="EC2", arrival_rate=0.5)
+        b = builder(spec)
+        rng = random.Random(0)
+        counts = [b.arrivals_for_day(10, rng) for _ in range(400)]
+        assert statistics.mean(counts) == pytest.approx(5.0, rel=0.15)

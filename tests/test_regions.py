@@ -1,0 +1,70 @@
+"""Tests for region-usage analysis (§8.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.clustering import WebpageClusterer
+from repro.analysis.regions import RegionAnalyzer
+
+from _obs import make_dataset, obs
+
+
+def region_of(ip: int) -> str:
+    return "east" if ip < 100 else "west"
+
+
+class TestRegionAnalyzer:
+    def build(self):
+        rows = [
+            # Cluster A: single region, both rounds.
+            obs(1, 0, title="a", simhash=1),
+            obs(1, 1, title="a", simhash=1),
+            # Cluster B: spans regions from the start.
+            obs(2, 0, title="b", simhash=1 << 40),
+            obs(102, 0, title="b", simhash=1 << 40),
+            obs(2, 1, title="b", simhash=1 << 40),
+            obs(102, 1, title="b", simhash=1 << 40),
+            # Cluster C: gains a region in round 1.
+            obs(3, 0, title="c", simhash=1 << 80),
+            obs(3, 1, title="c", simhash=1 << 80),
+            obs(103, 1, title="c", simhash=1 << 80),
+        ]
+        dataset = make_dataset(rows)
+        clustering = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        return dataset, clustering
+
+    def test_single_region_share(self):
+        dataset, clustering = self.build()
+        usage = RegionAnalyzer(dataset, clustering, region_of).usage()
+        # Cluster A is single-region; B and C touch both.
+        assert usage.single_region_share == pytest.approx(100 / 3)
+
+    def test_region_change_detection(self):
+        dataset, clustering = self.build()
+        usage = RegionAnalyzer(dataset, clustering, region_of).usage()
+        # Cluster C gains one region between its first and second half.
+        assert usage.change_shares.get(1, 0) == pytest.approx(100 / 3)
+        assert usage.same_region_share() == pytest.approx(200 / 3)
+
+    def test_empty_clustering(self):
+        dataset = make_dataset([obs(1, 0, has_page=False, status_code=None)])
+        clustering = WebpageClusterer(level2_threshold=3).cluster(dataset)
+        usage = RegionAnalyzer(dataset, clustering, region_of).usage()
+        assert usage.single_region_share == 0.0
+
+
+class TestCampaignRegions:
+    def test_paper_shape(self, ec2_campaign, ec2_dataset, ec2_clustering):
+        """§8.1: ~97% of clusters use one region; region sets sticky."""
+        analyzer = RegionAnalyzer(
+            ec2_dataset, ec2_clustering,
+            ec2_campaign.scenario.topology.region_of,
+        )
+        usage = analyzer.usage()
+        assert usage.single_region_share > 85.0
+        assert usage.same_region_share() > 85.0
+        # The top-5%-vs-overall comparison (§8.1: 21.5% vs 3%) needs a
+        # larger population and is asserted in bench_region_usage.
+        assert 0.0 <= usage.top_multi_region_share <= 100.0
+        assert sum(usage.change_shares.values()) == pytest.approx(100.0)

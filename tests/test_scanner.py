@@ -1,0 +1,137 @@
+"""Tests for the probing scanner (§4 semantics)."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.config import ScanConfig
+from repro.core.records import ProbeStatus
+from repro.core.scanner import RateLimiter, Scanner
+
+from _fakes import FakeTransport
+
+
+def fast_config(**overrides) -> ScanConfig:
+    defaults = dict(probes_per_second=1e9, probe_timeout=2.0)
+    defaults.update(overrides)
+    return ScanConfig(**defaults)
+
+
+class TestScanIp:
+    def test_web_host(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80})
+        scanner = Scanner(transport, fast_config())
+        outcome = asyncio.run(scanner.scan_ip(1))
+        assert outcome.status is ProbeStatus.RESPONSIVE
+        assert outcome.open_ports == {80}
+
+    def test_ssh_fallback_only_when_web_closed(self):
+        """§4: the SSH probe is sent only if both web probes fail."""
+        transport = FakeTransport()
+        transport.add_host(1, {22})
+        scanner = Scanner(transport, fast_config())
+        outcome = asyncio.run(scanner.scan_ip(1))
+        assert outcome.open_ports == {22}
+        assert [port for _, port in transport.probe_calls] == [80, 443, 22]
+
+    def test_no_ssh_probe_when_web_open(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80, 443})
+        scanner = Scanner(transport, fast_config())
+        asyncio.run(scanner.scan_ip(1))
+        assert [port for _, port in transport.probe_calls] == [80, 443]
+
+    def test_unresponsive(self):
+        transport = FakeTransport()
+        scanner = Scanner(transport, fast_config())
+        outcome = asyncio.run(scanner.scan_ip(5))
+        assert outcome.status is ProbeStatus.UNRESPONSIVE
+        assert not outcome.open_ports
+
+    def test_at_most_three_probes_per_ip(self):
+        """Ethics invariant (§7): at most 3 probes per IP per round."""
+        transport = FakeTransport()
+        scanner = Scanner(transport, fast_config())
+        asyncio.run(scanner.scan_ip(9))
+        assert len(transport.probe_calls) == 3
+
+    def test_blacklisted_ip_never_probed(self):
+        transport = FakeTransport()
+        transport.add_host(7, {80})
+        scanner = Scanner(transport, fast_config(), blacklist=[7])
+        outcome = asyncio.run(scanner.scan_ip(7))
+        assert outcome.status is ProbeStatus.SKIPPED
+        assert transport.probe_calls == []
+
+    def test_no_retries_by_default(self):
+        """§4: failed probes are not retried."""
+        transport = FakeTransport()
+        transport.add_host(3, {80})
+        transport.fail_first[(3, 80)] = 1
+        transport.fail_first[(3, 443)] = 1
+        transport.fail_first[(3, 22)] = 1
+        scanner = Scanner(transport, fast_config())
+        outcome = asyncio.run(scanner.scan_ip(3))
+        assert outcome.status is ProbeStatus.UNRESPONSIVE
+        assert len(transport.probe_calls) == 3
+
+    def test_retries_recover_flaky_hosts(self):
+        transport = FakeTransport()
+        transport.add_host(3, {80})
+        transport.fail_first[(3, 80)] = 1
+        scanner = Scanner(transport, fast_config(retries=1))
+        outcome = asyncio.run(scanner.scan_ip(3))
+        assert outcome.status is ProbeStatus.RESPONSIVE
+
+
+class TestScanMany:
+    def test_order_preserved(self):
+        transport = FakeTransport()
+        transport.add_host(2, {80})
+        transport.add_host(4, {22})
+        scanner = Scanner(transport, fast_config())
+        outcomes = scanner.scan_sync([4, 2, 6])
+        assert [o.ip for o in outcomes] == [4, 2, 6]
+        assert outcomes[0].open_ports == {22}
+        assert outcomes[1].open_ports == {80}
+        assert outcomes[2].status is ProbeStatus.UNRESPONSIVE
+
+    def test_probe_counter(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80})
+        scanner = Scanner(transport, fast_config())
+        scanner.scan_sync([1, 2])
+        # ip 1: 80 (open) + 443 (closed) = 2; ip 2: 3 probes.
+        assert scanner.probes_sent == 5
+
+
+class TestRateLimiter:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            RateLimiter(0)
+
+    def test_limits_rate(self):
+        async def run():
+            limiter = RateLimiter(200.0, burst=1)
+            start = time.monotonic()
+            for _ in range(21):
+                await limiter.acquire()
+            return time.monotonic() - start
+
+        elapsed = asyncio.run(run())
+        # 20 extra tokens at 200/s need ~0.1 s.
+        assert elapsed >= 0.08
+
+    def test_unlimited_rate_is_fast(self):
+        async def run():
+            limiter = RateLimiter(1e9)
+            start = time.monotonic()
+            for _ in range(1000):
+                await limiter.acquire()
+            return time.monotonic() - start
+
+        assert asyncio.run(run()) < 0.5

@@ -1,0 +1,162 @@
+"""Tests for the service model: elasticity targets, malicious behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.services import (
+    Elasticity,
+    MaliciousBehavior,
+    PortProfile,
+    ServiceSpec,
+    target_size,
+)
+
+
+def make_service(elasticity: Elasticity, base_size: int = 4,
+                 **overrides) -> ServiceSpec:
+    fields = dict(
+        service_id=1,
+        cloud="EC2",
+        category="web",
+        regions=("east",),
+        networking="classic",
+        base_size=base_size,
+        elasticity=elasticity,
+        birth_day=-10,
+        death_day=None,
+        port_profile=PortProfile.HTTP_ONLY,
+        profile=None,
+        stack=None,
+        step_day=30,
+        step2_day=60,
+        step_factor=1.5,
+    )
+    fields.update(overrides)
+    return ServiceSpec(**fields)
+
+
+class TestTargetSize:
+    def test_dead_service_zero(self):
+        service = make_service(Elasticity.STABLE, death_day=20)
+        assert target_size(service, 25) == 0
+        assert target_size(service, 19) == 4
+
+    def test_unborn_zero(self):
+        service = make_service(Elasticity.STABLE, birth_day=50)
+        assert target_size(service, 10) == 0
+
+    def test_stable_constant(self):
+        service = make_service(Elasticity.STABLE)
+        assert all(target_size(service, d) == 4 for d in range(0, 90, 10))
+
+    def test_step_up(self):
+        service = make_service(Elasticity.STEP_UP)
+        assert target_size(service, 29) == 4
+        assert target_size(service, 30) == 6
+        assert target_size(service, 80) == 6
+
+    def test_step_down(self):
+        service = make_service(Elasticity.STEP_DOWN)
+        assert target_size(service, 29) == 4
+        assert target_size(service, 30) == 2
+
+    def test_step_down_singleton_reaches_zero(self):
+        service = make_service(Elasticity.STEP_DOWN, base_size=1)
+        assert target_size(service, 29) == 1
+        assert target_size(service, 31) == 0
+
+    def test_bump(self):
+        service = make_service(Elasticity.BUMP)
+        assert target_size(service, 10) == 4
+        assert target_size(service, 45) == 6
+        assert target_size(service, 70) == 4
+
+    def test_dip(self):
+        service = make_service(Elasticity.DIP)
+        assert target_size(service, 10) == 4
+        assert target_size(service, 45) == 2
+        assert target_size(service, 70) == 4
+
+    def test_noisy_deterministic_within_week(self):
+        service = make_service(Elasticity.NOISY, base_size=10)
+        assert target_size(service, 14) == target_size(service, 15)
+        values = {target_size(service, d) for d in range(0, 70, 7)}
+        assert len(values) > 1  # it does move across weeks
+        assert all(v >= 1 for v in values)
+
+    def test_delta_capped(self):
+        service = make_service(Elasticity.STEP_UP, base_size=100,
+                               step_factor=1.9)
+        assert target_size(service, 40) <= 103
+
+
+class TestPortProfile:
+    def test_open_ports(self):
+        assert PortProfile.SSH_ONLY.open_ports == {22}
+        assert PortProfile.HTTP_ONLY.open_ports == {80, 22}
+        assert PortProfile.HTTPS_ONLY.open_ports == {443}
+        assert PortProfile.BOTH.open_ports == {80, 443}
+
+    def test_serves_web(self):
+        assert not PortProfile.SSH_ONLY.serves_web
+        assert PortProfile.HTTP_ONLY.serves_web
+
+
+class TestMaliciousBehavior:
+    def urls(self, count: int) -> tuple[str, ...]:
+        return tuple(f"http://evil.example/{i}" for i in range(count))
+
+    def test_type1_constant(self):
+        behavior = MaliciousBehavior(kind=1, category="malware",
+                                     urls=self.urls(3))
+        assert behavior.active_urls(0) == behavior.active_urls(50)
+
+    def test_type2_toggles(self):
+        behavior = MaliciousBehavior(kind=2, category="malware",
+                                     urls=self.urls(2), toggle_period=5)
+        assert behavior.active_urls(0)      # on phase
+        assert not behavior.active_urls(5)  # off phase
+        assert behavior.active_urls(10)     # on again
+
+    def test_type3_rotates(self):
+        behavior = MaliciousBehavior(kind=3, category="malware",
+                                     urls=self.urls(9), rotation_period=10)
+        first = behavior.active_urls(0)
+        later = behavior.active_urls(10)
+        assert first and later
+        assert first != later
+
+    def test_removal_clears(self):
+        behavior = MaliciousBehavior(kind=1, category="malware",
+                                     urls=self.urls(2),
+                                     removal_day_in_life=20)
+        assert behavior.active_urls(19)
+        assert behavior.active_urls(20) == ()
+        assert behavior.active_urls(90) == ()
+
+    def test_no_urls(self):
+        behavior = MaliciousBehavior(kind=1, category="malware", urls=())
+        assert behavior.active_urls(0) == ()
+
+
+class TestServiceSpec:
+    def test_alive_window(self):
+        service = make_service(Elasticity.STABLE, birth_day=5, death_day=10)
+        assert not service.alive_on(4)
+        assert service.alive_on(5)
+        assert service.alive_on(9)
+        assert not service.alive_on(10)
+
+    def test_day_in_life(self):
+        service = make_service(Elasticity.STABLE, birth_day=5)
+        assert service.day_in_life(12) == 7
+
+    def test_serves_web_needs_profile(self):
+        service = make_service(Elasticity.STABLE)
+        assert not service.serves_web  # profile is None
+
+    @pytest.mark.parametrize("profile", [PortProfile.SSH_ONLY])
+    def test_ssh_only_never_serves_web(self, profile):
+        service = make_service(Elasticity.STABLE, port_profile=profile)
+        assert not service.serves_web

@@ -1,0 +1,128 @@
+"""Unit and property tests for the 96-bit simhash (§4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simhash import (
+    HASH_BITS,
+    hamming_distance,
+    shingles,
+    simhash,
+    tokenize,
+)
+
+WORDS = "alpha beta gamma delta epsilon zeta eta theta iota kappa".split()
+
+
+def make_text(rng: random.Random, length: int) -> str:
+    return " ".join(rng.choice(WORDS) for _ in range(length))
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello, World! 42") == ["hello", "world", "42"]
+
+    def test_strips_html_tags(self):
+        tokens = tokenize("<html><body>Hello</body></html>")
+        assert "hello" in tokens
+        assert "<html>" not in tokens
+
+    def test_keeps_markup_when_asked(self):
+        tokens = tokenize("<b>x</b>", strip_markup=False)
+        assert tokens == ["b", "x", "b"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestShingles:
+    def test_width_three(self):
+        assert list(shingles(["a", "b", "c", "d"], 3)) == ["a b c", "b c d"]
+
+    def test_short_document_single_shingle(self):
+        assert list(shingles(["a", "b"], 3)) == ["a b"]
+
+    def test_empty(self):
+        assert list(shingles([], 3)) == []
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            list(shingles(["a"], 0))
+
+
+class TestSimhash:
+    def test_deterministic(self):
+        text = "the quick brown fox jumps over the lazy dog"
+        assert simhash(text) == simhash(text)
+
+    def test_within_bit_range(self):
+        value = simhash("some web page content here")
+        assert 0 <= value < (1 << HASH_BITS)
+
+    def test_empty_is_zero(self):
+        assert simhash("") == 0
+        assert simhash("<html></html>") == 0
+
+    def test_identical_pages_distance_zero(self):
+        page = "<html><body>welcome to my site</body></html>"
+        assert hamming_distance(simhash(page), simhash(page)) == 0
+
+    def test_small_edit_small_distance(self):
+        rng = random.Random(5)
+        base_words = [rng.choice(WORDS) for _ in range(300)]
+        edited = list(base_words)
+        edited[150] = "changed"
+        distance = hamming_distance(
+            simhash(" ".join(base_words)), simhash(" ".join(edited))
+        )
+        assert distance <= 10
+
+    def test_unrelated_pages_far_apart(self):
+        rng = random.Random(9)
+        distances = []
+        for _ in range(10):
+            a = make_text(rng, 200) + " unique-a"
+            b = make_text(rng, 200) + " unique-b"
+            distances.append(hamming_distance(simhash(a), simhash(b)))
+        assert min(distances) > 10
+
+    @given(st.integers(0, (1 << HASH_BITS) - 1))
+    def test_hamming_identity(self, value):
+        assert hamming_distance(value, value) == 0
+
+    @given(
+        st.integers(0, (1 << HASH_BITS) - 1),
+        st.integers(0, (1 << HASH_BITS) - 1),
+    )
+    def test_hamming_symmetry(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(
+        st.integers(0, (1 << HASH_BITS) - 1),
+        st.integers(0, (1 << HASH_BITS) - 1),
+        st.integers(0, (1 << HASH_BITS) - 1),
+    )
+    def test_hamming_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= (
+            hamming_distance(a, b) + hamming_distance(b, c)
+        )
+
+    @given(
+        st.integers(0, (1 << HASH_BITS) - 1),
+        st.integers(0, (1 << HASH_BITS) - 1),
+    )
+    def test_hamming_bounded(self, a, b):
+        assert 0 <= hamming_distance(a, b) <= HASH_BITS
+
+    @settings(max_examples=25)
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                   min_size=0, max_size=500))
+    def test_simhash_total_function(self, text):
+        value = simhash(text)
+        assert 0 <= value < (1 << HASH_BITS)
+        assert simhash(text) == value

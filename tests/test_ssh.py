@@ -1,0 +1,103 @@
+"""Tests for the SSH banner extension (§9 non-web services)."""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+
+import pytest
+
+from repro.analysis.census import SshCensus
+from repro.core.transport import TransportError
+
+from _obs import make_dataset, obs
+
+
+class TestSimulatedBanners:
+    def test_banner_served_on_port_22(self, ec2_campaign):
+        simulation = ec2_campaign.scenario.simulation
+        transport = ec2_campaign.scenario.transport
+        target = next(
+            (s for s in simulation.live_services()
+             if s.port_profile.value == "22-only"
+             and simulation.footprint(s.service_id)),
+            None,
+        )
+        if target is None:
+            pytest.skip("no 22-only service at this seed")
+        ip = simulation.footprint(target.service_id)[0]
+        banner = asyncio.run(transport.banner(ip, 22, timeout=8.0))
+        assert banner == target.ssh_banner
+        assert banner.startswith("SSH-")
+
+    def test_no_banner_on_web_port(self, ec2_campaign):
+        simulation = ec2_campaign.scenario.simulation
+        transport = ec2_campaign.scenario.transport
+        ip = next(iter(simulation.assignments()))
+        with pytest.raises(TransportError):
+            asyncio.run(transport.banner(ip, 80, timeout=2.0))
+
+    def test_idle_ip_refuses_banner(self, ec2_campaign):
+        simulation = ec2_campaign.scenario.simulation
+        transport = ec2_campaign.scenario.transport
+        assigned = set(simulation.assignments())
+        idle = next(
+            a for a in simulation.topology.space.addresses()
+            if a not in assigned
+        )
+        with pytest.raises(TransportError):
+            asyncio.run(transport.banner(idle, 22, timeout=2.0))
+
+
+class TestBannerCollection:
+    def test_campaign_records_banners(self, ec2_campaign):
+        """simulation_config enables banner grabbing; 22-only records
+        must carry banners through store round-trips."""
+        dataset = ec2_campaign.dataset
+        with_banner = [
+            o for o in dataset.observations()
+            if o.port_profile == "22-only" and o.ssh_banner
+        ]
+        assert with_banner
+        assert all(o.ssh_banner.startswith("SSH-") for o in with_banner)
+
+    def test_web_records_have_no_banner(self, ec2_campaign):
+        dataset = ec2_campaign.dataset
+        for o in dataset.observations():
+            if o.port_profile in ("80&443", "443-only"):
+                assert o.ssh_banner is None
+
+
+class TestSshCensus:
+    def build_dataset(self):
+        rows = [
+            obs(1, 0, status_code=None, has_page=False,
+                port_profile="22-only", ssh_banner="SSH-2.0-OpenSSH_5.3"),
+            obs(2, 0, status_code=None, has_page=False,
+                port_profile="22-only", ssh_banner="SSH-2.0-OpenSSH_6.4"),
+            obs(3, 0, status_code=None, has_page=False,
+                port_profile="22-only",
+                ssh_banner="SSH-2.0-dropbear_2012.55"),
+            obs(4, 0, title="web", simhash=9, port_profile="80-only"),
+        ]
+        return make_dataset(rows)
+
+    def test_report(self):
+        report = SshCensus(self.build_dataset()).report()
+        assert report.banner_identified_share == 100.0
+        assert report.product_shares["OpenSSH"] == pytest.approx(200 / 3)
+        assert report.product_shares["dropbear"] == pytest.approx(100 / 3)
+        # OpenSSH 5.3 is stale, 6.4 is not -> 50% of OpenSSH banners.
+        assert report.stale_openssh_share == pytest.approx(50.0)
+
+    def test_web_ips_ignored(self):
+        report = SshCensus(self.build_dataset()).report()
+        assert sum(report.banner_counts.values()) == 3
+
+    def test_campaign_census(self, ec2_campaign):
+        report = SshCensus(ec2_campaign.dataset).report()
+        assert report.banner_identified_share > 80.0
+        assert report.product_shares.get("OpenSSH", 0) > 80.0
+        assert report.top_banners(3)
+        versions = Counter(report.banner_counts)
+        assert any("OpenSSH_5" in name for name in versions)

@@ -1,0 +1,105 @@
+"""Tests for the per-round measurement store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import (
+    FetchResult,
+    FetchStatus,
+    PageFeatures,
+    ProbeOutcome,
+    ProbeStatus,
+)
+from repro.core.records import RoundRecord
+from repro.core.store import MeasurementStore
+
+
+def record(ip: int, round_id: int, timestamp: int, title: str = "t") -> RoundRecord:
+    return RoundRecord(
+        ip=ip,
+        round_id=round_id,
+        timestamp=timestamp,
+        probe=ProbeOutcome(
+            ip=ip, status=ProbeStatus.RESPONSIVE, open_ports=frozenset({80})
+        ),
+        fetch=FetchResult(
+            ip=ip, status=FetchStatus.OK, url=f"http://{ip}/",
+            status_code=200, headers={"Content-Type": "text/html"},
+            body=f"<title>{title}</title>",
+        ),
+        features=PageFeatures(title=title, simhash=ip * 7),
+    )
+
+
+class TestMeasurementStore:
+    def test_write_and_read_round(self):
+        store = MeasurementStore()
+        info = store.write_round(1, 0, 100, [record(1, 1, 0), record(2, 1, 0)])
+        assert info.responsive_count == 2
+        assert info.targets_probed == 100
+        records = list(store.records(1))
+        assert {r.ip for r in records} == {1, 2}
+        assert records[0].features is not None
+
+    def test_one_table_per_round(self):
+        """§4: each round of scanning uses a distinct table with the
+        round's timestamp in its name."""
+        store = MeasurementStore()
+        store.write_round(1, 0, 10, [record(1, 1, 0)])
+        store.write_round(2, 3, 10, [record(1, 2, 3)])
+        tables = {info.table_name for info in store.rounds()}
+        assert tables == {"round_00000", "round_00003"}
+
+    def test_rounds_sorted_by_timestamp(self):
+        store = MeasurementStore()
+        store.write_round(2, 9, 10, [])
+        store.write_round(1, 3, 10, [])
+        assert [info.timestamp for info in store.rounds()] == [3, 9]
+
+    def test_history_lookup(self):
+        """The core WhoWas query: an IP's status over time."""
+        store = MeasurementStore()
+        store.write_round(1, 0, 10, [record(5, 1, 0, "a")])
+        store.write_round(2, 3, 10, [])                      # unresponsive
+        store.write_round(3, 6, 10, [record(5, 3, 6, "b")])
+        history = store.history(5)
+        assert [r.timestamp for r in history] == [0, 6]
+        assert [r.features.title for r in history] == ["a", "b"]
+
+    def test_record_lookup(self):
+        store = MeasurementStore()
+        store.write_round(1, 0, 10, [record(5, 1, 0)])
+        assert store.record(1, 5) is not None
+        assert store.record(1, 6) is None
+
+    def test_missing_round(self):
+        store = MeasurementStore()
+        with pytest.raises(KeyError):
+            store.round_info(9)
+
+    def test_responsive_ips(self):
+        store = MeasurementStore()
+        store.write_round(1, 0, 10, [record(1, 1, 0), record(9, 1, 0)])
+        assert store.responsive_ips(1) == {1, 9}
+
+    def test_rewrite_round_replaces(self):
+        store = MeasurementStore()
+        store.write_round(1, 0, 10, [record(1, 1, 0)])
+        store.write_round(1, 0, 10, [record(2, 1, 0)])
+        assert store.responsive_ips(1) == {2}
+
+    def test_context_manager(self):
+        with MeasurementStore() as store:
+            store.write_round(1, 0, 1, [])
+        with pytest.raises(Exception):
+            store.rounds()
+
+    def test_file_backed(self, tmp_path):
+        path = str(tmp_path / "whowas.sqlite")
+        store = MeasurementStore(path)
+        store.write_round(1, 0, 10, [record(3, 1, 0)])
+        store.close()
+        reopened = MeasurementStore(path)
+        assert reopened.responsive_ips(1) == {3}
+        reopened.close()
