@@ -1,0 +1,21 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+export PYTHONPATH
+
+.PHONY: test chaos bench all
+
+# Tier-1: the fast suite (the chaos storm matrix is deselected by the
+# `-m 'not chaos'` default in pyproject.toml).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full fault-injection matrix: seeded storms, per-kind pure storms,
+# total blackout. A later -m overrides the pyproject default.
+chaos:
+	$(PYTHON) -m pytest -q -m chaos
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+all: test chaos

@@ -27,6 +27,20 @@ from .workloads import Campaign, azure_scenario, ec2_scenario
 __all__ = ["main", "build_parser"]
 
 
+def _chaos_rate(value: str) -> float:
+    try:
+        rate = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"chaos rate must be a number in [0, 1], got {value!r}"
+        ) from None
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"chaos rate must be in [0, 1], got {rate}"
+        )
+    return rate
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -45,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="campaign length (default: paper calendar)")
     simulate.add_argument("--out", required=True,
                           help="sqlite file for the round database")
+    simulate.add_argument("--chaos-rate", type=_chaos_rate, default=0.0,
+                          help="inject seeded network faults into this "
+                               "fraction of requests (0 disables)")
+    simulate.add_argument("--chaos-seed", type=int, default=0,
+                          help="seed for the fault plan (with --chaos-rate)")
 
     scan = commands.add_parser(
         "scan", help="scan real targets over the network (polite defaults)"
@@ -98,8 +117,18 @@ def _cmd_simulate(args) -> int:
     scenario = builder(**kwargs)
     print(f"simulating {scenario.name}: {len(scenario.targets)} IPs, "
           f"{len(scenario.scan_days)} rounds")
+    if args.chaos_rate > 0:
+        from .core import FaultyTransport, chaos_plan
+
+        plan = chaos_plan(args.chaos_seed, rate=args.chaos_rate)
+        scenario.transport = FaultyTransport(scenario.transport, plan)
+        print(f"chaos: injecting {len(plan.rules)} fault kinds at "
+              f"rate {args.chaos_rate} (seed {args.chaos_seed})")
     store = MeasurementStore(args.out)
-    Campaign(scenario, store=store).run(progress=True)
+    result = Campaign(scenario, store=store).run(progress=True)
+    degraded = [s.round_id for s in result.summaries if s.degraded]
+    if degraded:
+        print(f"degraded rounds (error budget exceeded): {degraded}")
     print(f"round database written to {args.out}")
     return 0
 
@@ -130,6 +159,10 @@ def _cmd_report(args) -> int:
     dynamics = DynamicsAnalyzer(dataset, clustering)
     print(f"rounds: {dataset.round_count}, "
           f"targets probed: {dynamics.space_size()}")
+    degraded = [info.round_id for info in store.rounds() if info.degraded]
+    if degraded:
+        print(f"degraded rounds: {len(degraded)}/{dataset.round_count} "
+              f"{degraded}")
     for name, summary in dynamics.usage_summary().items():
         print(f"  {name:<10} avg {summary.average:9.1f}  "
               f"growth {summary.growth_pct:+.1f}%")

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from collections import Counter
 
-from ..core.transport import HttpResponse, TransportError
+from ..core.transport import (
+    ConnectionRefused,
+    ConnectTimeout,
+    HttpResponse,
+    ProtocolError,
+    TransportError,
+)
 from .services import ServiceSpec
 from .simulation import CloudSimulation, HostState
 
@@ -55,11 +61,11 @@ class SimulatedTransport:
         sim = self.simulation
         state = sim.host_state(ip)
         if state is None or port not in state.open_ports:
-            raise TransportError("connection refused")
+            raise ConnectionRefused("connection refused")
         if port != 22 or not state.service.ssh_banner:
             raise TransportError("no banner")
         if sim.probe_latency(ip, sim.day) > timeout:
-            raise TransportError("banner read timed out")
+            raise ConnectTimeout("banner read timed out")
         return state.service.ssh_banner
 
     async def get(
@@ -76,15 +82,15 @@ class SimulatedTransport:
         sim = self.simulation
         state = sim.host_state(ip)
         if state is None:
-            raise TransportError("connection refused")
+            raise ConnectionRefused("connection refused")
         service = state.service
         port = 443 if scheme == "https" else 80
         if port not in state.open_ports:
-            raise TransportError(f"port {port} closed")
+            raise ConnectionRefused(f"port {port} closed")
         if not service.serves_web:
-            raise TransportError("connection reset by peer")
+            raise ProtocolError("connection reset by peer")
         if not sim.service_web_up(service, ip, sim.day):
-            raise TransportError("connection timed out")
+            raise ConnectTimeout("connection timed out")
         if path in ("/robots.txt", "robots.txt"):
             return self._robots_response(service)
         return self._page_response(state, path, max_body)

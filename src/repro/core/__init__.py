@@ -7,6 +7,7 @@ persists per-round records behind a programmatic lookup API.
 
 from .config import FetchConfig, PlatformConfig, ScanConfig
 from .crawler import Crawler, CrawlResult
+from .faults import FaultKind, FaultPlan, FaultRule, FaultyTransport, chaos_plan
 from .features import FeatureExtractor, extract_internal_links, extract_links
 from .fetcher import Fetcher, parse_robots
 from .platform import RoundSummary, WhoWas
@@ -23,7 +24,18 @@ from .records import (
 from .scanner import RateLimiter, Scanner
 from .simhash import HASH_BITS, hamming_distance, simhash
 from .store import MeasurementStore, RoundInfo
-from .transport import HttpResponse, SocketTransport, Transport, TransportError
+from .transport import (
+    BodyTruncated,
+    ConnectionRefused,
+    ConnectTimeout,
+    HttpResponse,
+    ProtocolError,
+    RoundAware,
+    SocketTransport,
+    Transport,
+    TransportError,
+    classify_error,
+)
 
 __all__ = [
     "FetchConfig",
@@ -31,6 +43,11 @@ __all__ = [
     "ScanConfig",
     "Crawler",
     "CrawlResult",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyTransport",
+    "chaos_plan",
     "FeatureExtractor",
     "extract_internal_links",
     "extract_links",
@@ -56,5 +73,11 @@ __all__ = [
     "HttpResponse",
     "SocketTransport",
     "Transport",
+    "RoundAware",
     "TransportError",
+    "ConnectTimeout",
+    "ConnectionRefused",
+    "ProtocolError",
+    "BodyTruncated",
+    "classify_error",
 ]

@@ -73,6 +73,15 @@ class FetchConfig:
     )
     #: Honour robots.txt disallow rules for the top-level page (§7).
     respect_robots: bool = True
+    #: Bounded retry-with-jitter for page fetches.  0 preserves the
+    #: paper's semantics (a failed fetch is recorded, never retried);
+    #: setting it >0 makes the fetcher retry transport errors with
+    #: exponential backoff and deterministic jitter.
+    retries: int = 0
+    #: First backoff delay in seconds; doubles per retry attempt.
+    retry_base_delay: float = 0.05
+    #: Ceiling on any single backoff delay in seconds.
+    retry_max_delay: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -81,6 +90,10 @@ class FetchConfig:
             raise ValueError("timeout must be positive")
         if self.max_body_bytes <= 0:
             raise ValueError("max_body_bytes must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
 
     def should_download(self, content_type: str) -> bool:
         """Return True if a body with this content type may be stored."""
@@ -104,3 +117,14 @@ class PlatformConfig:
     #: connection per such IP per round) — the paper's non-web-services
     #: extension.  Off by default to keep the original probe budget.
     grab_ssh_banners: bool = False
+    #: Per-round error budget: when the fraction of network operations
+    #: (probes + page GETs) that fail with a *classified* transport
+    #: error exceeds this, the round is marked ``degraded`` in its
+    #: :class:`~repro.core.store.RoundInfo` — the round still completes
+    #: and persists, but analyses can discount it.  1.0 disables the
+    #: check entirely.
+    round_error_budget: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.round_error_budget <= 1.0:
+            raise ValueError("round_error_budget must be in [0, 1]")

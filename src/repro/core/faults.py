@@ -1,0 +1,302 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+WhoWas's measurement quality hinges on surviving a hostile network: the
+paper's scanner and fetcher tolerate timeouts, refused connections, and
+malformed responses without retries (§4, §7).  This module makes that
+hostility *testable*: :class:`FaultyTransport` decorates any
+:class:`~repro.core.transport.Transport` and injects seeded,
+reproducible faults — connect timeouts, resets, slow responses,
+truncated bodies, garbage headers, 5xx storms — scoped per-IP, per-port,
+and per-round by a :class:`FaultPlan`.
+
+Every decision is a pure function of ``(plan seed, rule index,
+operation, ip, port, round, attempt)``, so a failing chaos test replays
+byte-for-byte from its seed alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .transport import (
+    BodyTruncated,
+    ConnectionRefused,
+    ConnectTimeout,
+    HttpResponse,
+    ProtocolError,
+    Transport,
+)
+
+__all__ = ["FaultKind", "FaultRule", "FaultPlan", "FaultyTransport", "chaos_plan"]
+
+
+class FaultKind(enum.Enum):
+    """The fault classes the injector can produce.
+
+    Connection-level kinds apply to probes, banner reads, and GETs;
+    response-level kinds (truncated body, garbage headers, 5xx storm)
+    only make sense once a connection succeeded, so they apply to GETs
+    alone.
+    """
+
+    #: SYN (or whole request) exceeds the caller's timeout.
+    CONNECT_TIMEOUT = "connect-timeout"
+    #: RST on connect: the host actively refuses.
+    CONNECTION_REFUSED = "connection-refused"
+    #: RST mid-stream, after the handshake succeeded.
+    RESET = "connection-reset"
+    #: Response delayed by ``delay`` seconds; if the delay exceeds the
+    #: caller's timeout the request times out instead.
+    SLOW_RESPONSE = "slow-response"
+    #: Connection dies before the advertised body arrives.
+    TRUNCATED_BODY = "truncated-body"
+    #: The peer answers with bytes that do not parse as HTTP.
+    GARBAGE_HEADERS = "garbage-headers"
+    #: The service is up but melting down: every request returns 503.
+    STATUS_STORM = "5xx-storm"
+
+
+#: Kinds that affect the TCP handshake and therefore probes/banners too.
+_CONNECTION_KINDS = frozenset({
+    FaultKind.CONNECT_TIMEOUT,
+    FaultKind.CONNECTION_REFUSED,
+    FaultKind.RESET,
+    FaultKind.SLOW_RESPONSE,
+})
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scoped fault: *kind* fires with *probability* wherever the
+    scope matches.  ``None`` scope fields match everything."""
+
+    kind: FaultKind
+    probability: float = 1.0
+    ips: frozenset[int] | None = None
+    ports: frozenset[int] | None = None
+    rounds: frozenset[int] | None = None
+    #: Seconds of injected latency for :attr:`FaultKind.SLOW_RESPONSE`.
+    delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        # Accept any iterable for the scope fields.
+        for name in ("ips", "ports", "rounds"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, frozenset):
+                object.__setattr__(self, name, frozenset(value))
+
+    def matches(self, ip: int, port: int, round_id: int) -> bool:
+        if self.ips is not None and ip not in self.ips:
+            return False
+        if self.ports is not None and port not in self.ports:
+            return False
+        if self.rounds is not None and round_id not in self.rounds:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered set of fault rules.
+
+    Rules are consulted in order; the first matching rule whose seeded
+    coin-flip lands wins.  The draw is independent per (operation, ip,
+    port, round, attempt), so retries of the same request may see
+    different outcomes — deterministically.
+    """
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    def fault_for(
+        self, op: str, ip: int, port: int, round_id: int, attempt: int
+    ) -> FaultRule | None:
+        """The rule that fires for this operation, or None."""
+        connection_only = op != "get"
+        for index, rule in enumerate(self.rules):
+            if connection_only and rule.kind not in _CONNECTION_KINDS:
+                continue
+            if not rule.matches(ip, port, round_id):
+                continue
+            if rule.probability >= 1.0 or self._draw(
+                index, op, ip, port, round_id, attempt
+            ) < rule.probability:
+                return rule
+        return None
+
+    def _draw(
+        self, index: int, op: str, ip: int, port: int, round_id: int,
+        attempt: int,
+    ) -> float:
+        # random.Random seeded with a str hashes it through sha512, so
+        # the draw is stable across processes and PYTHONHASHSEED values.
+        key = f"{self.seed}:{index}:{op}:{ip}:{port}:{round_id}:{attempt}"
+        return random.Random(key).random()
+
+
+def chaos_plan(
+    seed: int = 0,
+    *,
+    rate: float = 0.2,
+    kinds: Iterable[FaultKind] = tuple(FaultKind),
+    ips: Iterable[int] | None = None,
+    ports: Iterable[int] | None = None,
+    rounds: Iterable[int] | None = None,
+    delay: float = 0.01,
+) -> FaultPlan:
+    """A plan firing every *kind* at the same per-request *rate* —
+    the one-liner the CLI and the chaos suite build their storms from."""
+    scope = {
+        "ips": frozenset(ips) if ips is not None else None,
+        "ports": frozenset(ports) if ports is not None else None,
+        "rounds": frozenset(rounds) if rounds is not None else None,
+    }
+    rules = tuple(
+        FaultRule(kind=kind, probability=rate, delay=delay, **scope)
+        for kind in kinds
+    )
+    return FaultPlan(seed=seed, rules=rules)
+
+
+class FaultyTransport:
+    """Transport decorator injecting the faults a :class:`FaultPlan`
+    prescribes; everything else passes through to the wrapped transport.
+
+    Implements the :class:`~repro.core.transport.RoundAware` hook so the
+    platform can scope rules per round, and keeps audit counters
+    (:attr:`injected`, :attr:`passthrough`) so chaos tests can assert
+    how much damage was actually done.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan):
+        self.inner = inner
+        self.plan = plan
+        self.round_id = 0
+        #: Injected faults by kind label (audit/assertions).
+        self.injected: Counter[str] = Counter()
+        #: Operations forwarded untouched, by operation name.
+        self.passthrough: Counter[str] = Counter()
+        #: Probe calls per (round, ip) — lets tests assert the
+        #: once-per-round probe budget survives fault storms.
+        self.probe_calls: Counter[tuple[int, int]] = Counter()
+        self._attempts: Counter[tuple[str, int, int, int]] = Counter()
+
+    # ------------------------------------------------------------------
+    # RoundAware
+
+    def on_round_start(self, round_id: int) -> None:
+        self.round_id = round_id
+        inner_hook = getattr(self.inner, "on_round_start", None)
+        if callable(inner_hook):
+            inner_hook(round_id)
+
+    # ------------------------------------------------------------------
+    # Transport protocol
+
+    async def probe(self, ip: int, port: int, timeout: float) -> bool:
+        self.probe_calls[(self.round_id, ip)] += 1
+        rule = self._next_fault("probe", ip, port)
+        if rule is not None:
+            await self._connection_fault(rule, timeout)
+            # SLOW_RESPONSE below the timeout: fall through, delayed.
+        else:
+            self.passthrough["probe"] += 1
+        return await self.inner.probe(ip, port, timeout)
+
+    async def banner(self, ip: int, port: int, timeout: float) -> str:
+        rule = self._next_fault("banner", ip, port)
+        if rule is not None:
+            await self._connection_fault(rule, timeout)
+        else:
+            self.passthrough["banner"] += 1
+        return await self.inner.banner(ip, port, timeout)
+
+    async def get(
+        self,
+        ip: int,
+        scheme: str,
+        path: str,
+        *,
+        timeout: float,
+        max_body: int,
+        headers: Mapping[str, str] | None = None,
+    ) -> HttpResponse:
+        port = 443 if scheme == "https" else 80
+        rule = self._next_fault("get", ip, port)
+        if rule is None:
+            self.passthrough["get"] += 1
+            return await self.inner.get(
+                ip, scheme, path,
+                timeout=timeout, max_body=max_body, headers=headers,
+            )
+        if rule.kind in _CONNECTION_KINDS:
+            await self._connection_fault(rule, timeout)
+            return await self.inner.get(
+                ip, scheme, path,
+                timeout=timeout, max_body=max_body, headers=headers,
+            )
+        if rule.kind is FaultKind.TRUNCATED_BODY:
+            raise BodyTruncated(
+                f"body truncated fetching {scheme}://{ip}{path}"
+            )
+        if rule.kind is FaultKind.GARBAGE_HEADERS:
+            raise ProtocolError(
+                "malformed status line: b'\\x16\\x03\\x01\\x02\\x00garbage'"
+            )
+        # STATUS_STORM: a well-formed but useless 503 response.
+        body = b"<html><title>503 Service Unavailable</title></html>"
+        return HttpResponse(
+            503,
+            {
+                "Content-Type": "text/html",
+                "Content-Length": str(len(body)),
+                "Retry-After": "120",
+                "Connection": "close",
+            },
+            body,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _next_fault(self, op: str, ip: int, port: int) -> FaultRule | None:
+        key = (op, ip, port, self.round_id)
+        attempt = self._attempts[key]
+        self._attempts[key] += 1
+        rule = self.plan.fault_for(op, ip, port, self.round_id, attempt)
+        if rule is not None and not (
+            rule.kind is FaultKind.SLOW_RESPONSE
+        ):
+            self.injected[rule.kind.value] += 1
+        return rule
+
+    async def _connection_fault(self, rule: FaultRule, timeout: float) -> None:
+        """Raise the connection-level error *rule* prescribes.
+
+        SLOW_RESPONSE sleeps; if the injected latency reaches the
+        caller's timeout it becomes a connect timeout instead, exactly
+        as a real slow host would look to this client."""
+        if rule.kind is FaultKind.CONNECT_TIMEOUT:
+            raise ConnectTimeout("injected: connect timed out")
+        if rule.kind is FaultKind.CONNECTION_REFUSED:
+            raise ConnectionRefused("injected: connection refused")
+        if rule.kind is FaultKind.RESET:
+            raise ProtocolError("injected: connection reset by peer")
+        # SLOW_RESPONSE
+        if rule.delay >= timeout:
+            self.injected[FaultKind.CONNECT_TIMEOUT.value] += 1
+            raise ConnectTimeout("injected: response slower than timeout")
+        self.injected[FaultKind.SLOW_RESPONSE.value] += 1
+        await asyncio.sleep(rule.delay)

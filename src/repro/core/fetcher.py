@@ -13,11 +13,12 @@ never executed.
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Sequence
 
 from .config import FetchConfig
 from .records import FetchResult, FetchStatus, ProbeOutcome
-from .transport import HttpResponse, Transport, TransportError
+from .transport import HttpResponse, Transport, TransportError, classify_error
 
 __all__ = ["parse_robots", "Fetcher"]
 
@@ -27,23 +28,32 @@ def parse_robots(body: str, user_agent: str = "*") -> bool:
 
     Minimal robots-exclusion parser: honours ``Disallow`` rules in the
     ``*`` group and in any group whose agent token appears in our
-    User-Agent string.  A disallow of ``/`` (or a prefix of it) blocks
-    the root fetch.
+    User-Agent string.  A disallow of ``/`` blocks the root fetch; a
+    bare ``Disallow:`` (empty value) allows everything.  Consecutive
+    ``User-agent`` lines form one group — its rules apply if *any* of
+    the named agents matches.
     """
     agent_lower = user_agent.lower()
     applies = False
+    in_agent_run = False
     for raw_line in body.splitlines():
         line = raw_line.split("#", 1)[0].strip()
         if not line or ":" not in line:
+            # Comment-only and blank lines don't terminate an agent run
+            # (robots.txt in the wild puts comments between UA lines).
             continue
         field, _, value = line.partition(":")
         field = field.strip().lower()
         value = value.strip()
         if field == "user-agent":
             token = value.lower()
-            applies = token == "*" or (token and token in agent_lower)
-        elif field == "disallow" and applies and value == "/":
-            return False
+            matches = token == "*" or (token != "" and token in agent_lower)
+            applies = (applies or matches) if in_agent_run else matches
+            in_agent_run = True
+        else:
+            in_agent_run = False
+            if field == "disallow" and applies and value == "/":
+                return False
     return True
 
 
@@ -54,8 +64,11 @@ class Fetcher:
         self.transport = transport
         self.config = config or FetchConfig()
         #: GET counter across the fetcher's lifetime (ethics audit: at
-        #: most two GETs per IP per round).
+        #: most two GETs per IP per round — plus explicitly configured
+        #: retries, which are off by default to keep paper semantics).
         self.gets_sent = 0
+        #: Page fetches that ended in a transport error (after retries).
+        self.fetch_errors = 0
 
     async def fetch_ip(self, outcome: ProbeOutcome) -> FetchResult:
         """Fetch one IP's top-level page, honouring robots.txt."""
@@ -70,10 +83,15 @@ class Fetcher:
                     ip=outcome.ip, status=FetchStatus.ROBOTS_DISALLOWED, url=url
                 )
         try:
-            response = await self._get(outcome.ip, scheme, "/")
+            response = await self._get_with_retries(outcome.ip, scheme, "/")
         except TransportError as exc:
+            self.fetch_errors += 1
             return FetchResult(
-                ip=outcome.ip, status=FetchStatus.ERROR, url=url, error=str(exc)
+                ip=outcome.ip,
+                status=FetchStatus.ERROR,
+                url=url,
+                error=str(exc),
+                error_class=classify_error(exc),
             )
         body = self._body_text(response)
         return FetchResult(
@@ -121,6 +139,29 @@ class Fetcher:
             max_body=self.config.max_body_bytes,
             headers={"User-Agent": self.config.user_agent},
         )
+
+    async def _get_with_retries(
+        self, ip: int, scheme: str, path: str
+    ) -> HttpResponse:
+        """The page GET, with the optional bounded retry-with-jitter
+        policy (``FetchConfig.retries``, 0 by default — the paper never
+        retries).  Backoff is deterministic per (ip, attempt) so chaos
+        runs replay exactly."""
+        attempts = 1 + max(0, self.config.retries)
+        for attempt in range(attempts):
+            try:
+                return await self._get(ip, scheme, path)
+            except TransportError:
+                if attempt + 1 >= attempts:
+                    raise
+                await asyncio.sleep(self._backoff_delay(ip, attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _backoff_delay(self, ip: int, attempt: int) -> float:
+        base = self.config.retry_base_delay * (2 ** attempt)
+        base = min(base, self.config.retry_max_delay)
+        jitter = random.Random(f"fetch-retry:{ip}:{attempt}").random()
+        return base * (0.5 + 0.5 * jitter)
 
     def _body_text(self, response: HttpResponse) -> str | None:
         if not self.config.should_download(response.content_type):

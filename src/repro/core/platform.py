@@ -36,10 +36,17 @@ class RoundSummary:
     responsive: int
     available: int
     fetched: int
+    #: Classified transport errors observed this round (probes + GETs).
+    errors: int = 0
 
     @property
     def round_id(self) -> int:
         return self.info.round_id
+
+    @property
+    def degraded(self) -> bool:
+        """True when this round blew the platform's error budget."""
+        return self.info.degraded
 
 
 class WhoWas:
@@ -75,9 +82,21 @@ class WhoWas:
         self, targets: Sequence[int], timestamp: int
     ) -> RoundSummary:
         """Perform one round: probe every target, fetch pages from IPs
-        with open web ports, extract features, persist the results."""
+        with open web ports, extract features, persist the results.
+
+        The round always completes: classified transport failures are
+        recorded on the per-IP records, and a round whose failure ratio
+        exceeds ``PlatformConfig.round_error_budget`` is marked
+        *degraded* in its :class:`RoundInfo` instead of raising."""
         round_id = self._next_round_id
         self._next_round_id += 1
+        round_hook = getattr(self.transport, "on_round_start", None)
+        if callable(round_hook):
+            round_hook(round_id)
+
+        probes_before = self.scanner.probes_sent
+        probe_errors_before = self.scanner.probe_errors
+        fetch_errors_before = self.fetcher.fetch_errors
 
         outcomes = await self.scanner.scan(targets)
         to_fetch = [o for o in outcomes if o.responsive and o.wants_fetch]
@@ -110,12 +129,30 @@ class WhoWas:
                 available += 1
             records.append(record)
 
-        info = self.store.write_round(round_id, timestamp, len(targets), records)
+        errors = (
+            (self.scanner.probe_errors - probe_errors_before)
+            + (self.fetcher.fetch_errors - fetch_errors_before)
+        )
+        operations = (
+            (self.scanner.probes_sent - probes_before) + len(to_fetch)
+        )
+        budget = self.config.round_error_budget
+        degraded = (
+            budget < 1.0
+            and operations > 0
+            and errors / operations > budget
+        )
+
+        info = self.store.write_round(
+            round_id, timestamp, len(targets), records,
+            degraded=degraded, error_count=errors,
+        )
         return RoundSummary(
             info=info,
             responsive=len(records),
             available=available,
             fetched=len(fetch_results),
+            errors=errors,
         )
 
     def run_round(self, targets: Sequence[int], timestamp: int) -> RoundSummary:

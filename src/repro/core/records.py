@@ -53,6 +53,10 @@ class ProbeOutcome:
     ip: int
     status: ProbeStatus
     open_ports: frozenset[int] = frozenset()
+    #: Taxonomy label of the last classified probe failure for this IP
+    #: (:attr:`repro.core.transport.TransportError.kind`), or None when
+    #: every probe either succeeded or failed silently.
+    error_class: str | None = None
 
     @property
     def responsive(self) -> bool:
@@ -112,6 +116,10 @@ class FetchResult:
     headers: Mapping[str, str] = field(default_factory=dict)
     body: str | None = None
     error: str | None = None
+    #: Taxonomy label of the transport failure (see
+    #: :func:`repro.core.transport.classify_error`); None unless
+    #: ``status`` is :attr:`FetchStatus.ERROR`.
+    error_class: str | None = None
 
     @property
     def available(self) -> bool:
@@ -205,6 +213,8 @@ class RoundRecord:
             ),
             "body": self.fetch.body,
             "error": self.fetch.error,
+            "error_class": self.fetch.error_class,
+            "probe_error_class": self.probe.error_class,
             "powered_by": features.powered_by,
             "description": features.description,
             "header_string": features.header_string,
@@ -229,10 +239,14 @@ class RoundRecord:
             for line in row["headers"].split("\n"):
                 name, _, value = line.partition(": ")
                 headers[name] = value
+        keys = row.keys() if hasattr(row, "keys") else row
         probe = ProbeOutcome(
             ip=row["ip"],
             status=ProbeStatus(row["probe_status"]),
             open_ports=open_ports,
+            error_class=(
+                row["probe_error_class"] if "probe_error_class" in keys else None
+            ),
         )
         fetch = FetchResult(
             ip=row["ip"],
@@ -242,6 +256,7 @@ class RoundRecord:
             headers=headers,
             body=row["body"],
             error=row["error"],
+            error_class=row["error_class"] if "error_class" in keys else None,
         )
         # Features exist only for records with stored page content; the
         # writer serialises defaults for feature-less rows, so body
@@ -260,7 +275,6 @@ class RoundRecord:
                 analytics_id=row["analytics_id"],
                 simhash=int(row["simhash"], 16),
             )
-        keys = row.keys() if hasattr(row, "keys") else row
         return cls(
             ip=row["ip"],
             round_id=row["round_id"],

@@ -17,7 +17,7 @@ from typing import Iterable, Sequence
 
 from .config import ScanConfig
 from .records import ProbeOutcome, ProbeStatus
-from .transport import Transport
+from .transport import Transport, TransportError
 
 __all__ = ["RateLimiter", "Scanner"]
 
@@ -74,25 +74,41 @@ class Scanner:
         self._limiter = RateLimiter(self.config.probes_per_second)
         #: Total probes sent across the scanner's lifetime (ethics audit).
         self.probes_sent = 0
+        #: Probes that failed with a *classified* transport error across
+        #: the scanner's lifetime (feeds the platform's error budget).
+        self.probe_errors = 0
 
     async def scan_ip(self, ip: int) -> ProbeOutcome:
         """Probe one IP: web ports first, SSH fallback (§4).
 
         At most ``len(web_ports) + len(fallback_ports)`` probes are sent;
-        the SSH probe is skipped as soon as any web port answers.
+        the SSH probe is skipped as soon as any web port answers.  A
+        probe that raises a classified :class:`TransportError` counts as
+        a failed probe; the last error class seen is recorded on the
+        outcome.
         """
         if ip in self.blacklist:
             return ProbeOutcome(ip=ip, status=ProbeStatus.SKIPPED)
         open_ports: set[int] = set()
+        error_class: str | None = None
         for port in self.config.web_ports:
-            if await self._probe_once(ip, port):
+            opened, error_class = await self._probe_once(ip, port, error_class)
+            if opened:
                 open_ports.add(port)
         if not open_ports:
             for port in self.config.fallback_ports:
-                if await self._probe_once(ip, port):
+                opened, error_class = await self._probe_once(
+                    ip, port, error_class
+                )
+                if opened:
                     open_ports.add(port)
         status = ProbeStatus.RESPONSIVE if open_ports else ProbeStatus.UNRESPONSIVE
-        return ProbeOutcome(ip=ip, status=status, open_ports=frozenset(open_ports))
+        return ProbeOutcome(
+            ip=ip,
+            status=status,
+            open_ports=frozenset(open_ports),
+            error_class=None if open_ports else error_class,
+        )
 
     async def scan(self, ips: Sequence[int]) -> list[ProbeOutcome]:
         """Probe many IPs concurrently under the global rate limit.
@@ -113,14 +129,31 @@ class Scanner:
         """Convenience wrapper running :meth:`scan` on a fresh event loop."""
         return asyncio.run(self.scan(ips))
 
-    async def _probe_once(self, ip: int, port: int) -> bool:
+    async def _probe_once(
+        self, ip: int, port: int, error_class: str | None = None
+    ) -> tuple[bool, str | None]:
+        """One probe (plus configured retries); returns (opened, last
+        classified error seen — *error_class* carried through unchanged
+        when this probe fails without raising)."""
+        opened, kind = await self._guarded_probe(ip, port)
+        error_class = kind or error_class
+        for _ in range(self.config.retries):
+            if opened:
+                break
+            opened, kind = await self._guarded_probe(ip, port)
+            error_class = kind or error_class
+        return opened, error_class
+
+    async def _guarded_probe(self, ip: int, port: int) -> tuple[bool, str | None]:
+        """Send one rate-limited probe; a classified failure comes back
+        as (False, taxonomy label)."""
         await self._limiter.acquire()
         self.probes_sent += 1
-        result = await self.transport.probe(ip, port, self.config.probe_timeout)
-        for _ in range(self.config.retries):
-            if result:
-                break
-            await self._limiter.acquire()
-            self.probes_sent += 1
-            result = await self.transport.probe(ip, port, self.config.probe_timeout)
-        return result
+        try:
+            return (
+                await self.transport.probe(ip, port, self.config.probe_timeout),
+                None,
+            )
+        except TransportError as exc:
+            self.probe_errors += 1
+            return False, exc.kind

@@ -35,6 +35,8 @@ _COLUMNS: tuple[tuple[str, str], ...] = (
     ("headers", "TEXT"),
     ("body", "TEXT"),
     ("error", "TEXT"),
+    ("error_class", "TEXT"),
+    ("probe_error_class", "TEXT"),
     ("powered_by", "TEXT"),
     ("description", "TEXT"),
     ("header_string", "TEXT"),
@@ -59,6 +61,11 @@ class RoundInfo:
     timestamp: int          # day index when the round started
     targets_probed: int
     responsive_count: int
+    #: True when the round blew its error budget (too many classified
+    #: transport failures): the data is persisted but suspect.
+    degraded: bool = False
+    #: Classified transport errors observed during the round.
+    error_count: int = 0
 
     @property
     def table_name(self) -> str:
@@ -76,10 +83,27 @@ class MeasurementStore:
             "  round_id INTEGER PRIMARY KEY,"
             "  timestamp INTEGER NOT NULL,"
             "  targets_probed INTEGER NOT NULL,"
-            "  responsive_count INTEGER NOT NULL"
+            "  responsive_count INTEGER NOT NULL,"
+            "  degraded INTEGER NOT NULL DEFAULT 0,"
+            "  error_count INTEGER NOT NULL DEFAULT 0"
             ")"
         )
+        self._migrate_rounds_table()
         self._conn.commit()
+
+    def _migrate_rounds_table(self) -> None:
+        """Add the resilience columns to databases written before they
+        existed (older files lack ``degraded``/``error_count``)."""
+        existing = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(rounds)")
+        }
+        for name in ("degraded", "error_count"):
+            if name not in existing:
+                self._conn.execute(
+                    f"ALTER TABLE rounds ADD COLUMN {name} "
+                    "INTEGER NOT NULL DEFAULT 0"
+                )
 
     # ------------------------------------------------------------------
     # writes
@@ -90,6 +114,9 @@ class MeasurementStore:
         timestamp: int,
         targets_probed: int,
         records: Iterable[RoundRecord],
+        *,
+        degraded: bool = False,
+        error_count: int = 0,
     ) -> RoundInfo:
         """Persist one complete round into its own table."""
         info_rows = list(records)
@@ -108,33 +135,52 @@ class MeasurementStore:
         )
         self._conn.execute(f"CREATE INDEX idx_{table}_ip ON {table} (ip)")
         self._conn.execute(
-            "INSERT OR REPLACE INTO rounds VALUES (?, ?, ?, ?)",
-            (round_id, timestamp, targets_probed, len(info_rows)),
+            "INSERT OR REPLACE INTO rounds VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                round_id, timestamp, targets_probed, len(info_rows),
+                int(degraded), error_count,
+            ),
         )
         self._conn.commit()
-        return RoundInfo(round_id, timestamp, targets_probed, len(info_rows))
+        return RoundInfo(
+            round_id, timestamp, targets_probed, len(info_rows),
+            degraded=degraded, error_count=error_count,
+        )
 
     # ------------------------------------------------------------------
     # reads
 
-    def rounds(self) -> list[RoundInfo]:
-        """All rounds in chronological order."""
-        cursor = self._conn.execute(
-            "SELECT round_id, timestamp, targets_probed, responsive_count "
-            "FROM rounds ORDER BY timestamp"
+    _ROUND_COLUMNS = (
+        "round_id, timestamp, targets_probed, responsive_count, "
+        "degraded, error_count"
+    )
+
+    @staticmethod
+    def _round_info(row) -> RoundInfo:
+        return RoundInfo(
+            row["round_id"], row["timestamp"], row["targets_probed"],
+            row["responsive_count"],
+            degraded=bool(row["degraded"]), error_count=row["error_count"],
         )
-        return [RoundInfo(*row) for row in cursor.fetchall()]
+
+    def rounds(self) -> list[RoundInfo]:
+        """All rounds in chronological order (round_id breaks timestamp
+        ties so the ordering is stable)."""
+        cursor = self._conn.execute(
+            f"SELECT {self._ROUND_COLUMNS} FROM rounds "
+            "ORDER BY timestamp, round_id"
+        )
+        return [self._round_info(row) for row in cursor.fetchall()]
 
     def round_info(self, round_id: int) -> RoundInfo:
         cursor = self._conn.execute(
-            "SELECT round_id, timestamp, targets_probed, responsive_count "
-            "FROM rounds WHERE round_id = ?",
+            f"SELECT {self._ROUND_COLUMNS} FROM rounds WHERE round_id = ?",
             (round_id,),
         )
         row = cursor.fetchone()
         if row is None:
             raise KeyError(f"no such round: {round_id}")
-        return RoundInfo(*row)
+        return self._round_info(row)
 
     def records(self, round_id: int) -> Iterator[RoundRecord]:
         """All records of one round."""

@@ -21,11 +21,64 @@ from typing import Mapping, Protocol, runtime_checkable
 
 from .records import Port
 
-__all__ = ["HttpResponse", "TransportError", "Transport", "SocketTransport"]
+__all__ = [
+    "HttpResponse",
+    "TransportError",
+    "ConnectTimeout",
+    "ConnectionRefused",
+    "ProtocolError",
+    "BodyTruncated",
+    "classify_error",
+    "Transport",
+    "RoundAware",
+    "SocketTransport",
+]
 
 
 class TransportError(Exception):
-    """Connection, protocol, or timeout error during probe or fetch."""
+    """Connection, protocol, or timeout error during probe or fetch.
+
+    Subclasses form the failure taxonomy threaded through the pipeline:
+    ``ProbeOutcome.error_class`` and ``FetchResult.error_class`` record
+    the :attr:`kind` of the error that caused a failure, so analyses can
+    distinguish a dead host from a hostile network without re-parsing
+    error strings.
+    """
+
+    #: Stable machine-readable label persisted in records.
+    kind = "transport-error"
+
+
+class ConnectTimeout(TransportError):
+    """The TCP handshake (or the whole request) exceeded its deadline."""
+
+    kind = "connect-timeout"
+
+
+class ConnectionRefused(TransportError):
+    """The host actively refused or reset the connection attempt."""
+
+    kind = "connection-refused"
+
+
+class ProtocolError(TransportError):
+    """The peer spoke, but not valid HTTP (garbage status line, bad
+    chunk framing, mid-stream reset)."""
+
+    kind = "protocol-error"
+
+
+class BodyTruncated(TransportError):
+    """The connection died before the advertised body arrived."""
+
+    kind = "body-truncated"
+
+
+def classify_error(exc: BaseException) -> str:
+    """The taxonomy label for *exc* (``"transport-error"`` fallback)."""
+    if isinstance(exc, TransportError):
+        return exc.kind
+    return TransportError.kind
 
 
 @dataclass(frozen=True)
@@ -54,7 +107,10 @@ class Transport(Protocol):
 
     async def probe(self, ip: int, port: int, timeout: float) -> bool:
         """Attempt a TCP handshake; True iff the port accepted within
-        *timeout* seconds.  Must not raise on ordinary failures."""
+        *timeout* seconds.  May raise a :class:`TransportError` subclass
+        to report a *classified* failure; the scanner treats that as a
+        failed probe and records the error class.  Must not raise
+        anything else on ordinary failures."""
         ...
 
     async def get(
@@ -75,6 +131,18 @@ class Transport(Protocol):
         """Read the service banner a server sends on connect (SSH
         servers announce ``SSH-2.0-...``).  Raises
         :class:`TransportError` if the port refuses or stays silent."""
+        ...
+
+
+@runtime_checkable
+class RoundAware(Protocol):
+    """Transports that want to know when a measurement round begins.
+
+    The platform calls :meth:`on_round_start` before the first probe of
+    each round; :class:`repro.core.faults.FaultyTransport` uses it to
+    scope fault rules per round."""
+
+    def on_round_start(self, round_id: int) -> None:
         ...
 
 
@@ -120,12 +188,16 @@ class SocketTransport:
                 asyncio.open_connection(host, self._real_port(port)),
                 timeout=timeout,
             )
-        except (OSError, asyncio.TimeoutError) as exc:
+        except asyncio.TimeoutError as exc:
+            raise ConnectTimeout(f"connect to {host}:{port} timed out") from exc
+        except ConnectionRefusedError as exc:
+            raise ConnectionRefused(f"connect to {host}:{port} refused") from exc
+        except OSError as exc:
             raise TransportError(f"connect to {host}:{port} failed") from exc
         try:
             line = await asyncio.wait_for(reader.readline(), timeout=timeout)
         except asyncio.TimeoutError as exc:
-            raise TransportError(f"no banner from {host}:{port}") from exc
+            raise ConnectTimeout(f"no banner from {host}:{port}") from exc
         finally:
             writer.close()
             try:
@@ -159,7 +231,15 @@ class SocketTransport:
                 timeout=timeout,
             )
         except asyncio.TimeoutError as exc:
-            raise TransportError(f"timeout fetching {scheme}://{host}{path}") from exc
+            raise ConnectTimeout(
+                f"timeout fetching {scheme}://{host}{path}"
+            ) from exc
+        except ConnectionRefusedError as exc:
+            raise ConnectionRefused(str(exc)) from exc
+        except asyncio.IncompleteReadError as exc:
+            raise BodyTruncated(str(exc)) from exc
+        except ConnectionResetError as exc:
+            raise ProtocolError(str(exc)) from exc
         except OSError as exc:
             raise TransportError(str(exc)) from exc
 
@@ -199,11 +279,11 @@ class SocketTransport:
         status_line = await reader.readline()
         parts = status_line.decode("latin-1").split(None, 2)
         if len(parts) < 2 or not parts[0].startswith("HTTP/"):
-            raise TransportError(f"malformed status line: {status_line!r}")
+            raise ProtocolError(f"malformed status line: {status_line!r}")
         try:
             status_code = int(parts[1])
         except ValueError as exc:
-            raise TransportError(f"malformed status code: {parts[1]!r}") from exc
+            raise ProtocolError(f"malformed status code: {parts[1]!r}") from exc
         response_headers: dict[str, str] = {}
         while True:
             line = await reader.readline()
@@ -230,7 +310,7 @@ class SocketTransport:
             try:
                 size = int(size_line.split(b";")[0].strip() or b"0", 16)
             except ValueError as exc:
-                raise TransportError(f"malformed chunk size: {size_line!r}") from exc
+                raise ProtocolError(f"malformed chunk size: {size_line!r}") from exc
             if size == 0:
                 break
             chunk = await reader.readexactly(min(size, max_body - total))

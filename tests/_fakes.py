@@ -17,6 +17,8 @@ class FakeTransport:
         self.get_calls: list[tuple[int, str, str]] = []
         #: Per-(ip, port): number of failures before a probe succeeds.
         self.fail_first: dict[tuple[int, int], int] = {}
+        #: Per-(ip, port): exception raised instead of returning False.
+        self.probe_raises: dict[tuple[int, int], Exception] = {}
 
     def add_host(self, ip: int, ports, *, body: str = "<html></html>",
                  status: int = 200, content_type: str = "text/html",
@@ -34,6 +36,8 @@ class FakeTransport:
     async def probe(self, ip: int, port: int, timeout: float) -> bool:
         self.probe_calls.append((ip, port))
         key = (ip, port)
+        if key in self.probe_raises:
+            raise self.probe_raises[key]
         if self.fail_first.get(key, 0) > 0:
             self.fail_first[key] -= 1
             return False

@@ -50,6 +50,30 @@ class TestSimulate(object):
         assert code == 0
 
 
+class TestChaosSimulate:
+    def test_chaos_rate_marks_degraded_rounds(self, tmp_path, capsys):
+        path = str(tmp_path / "stormy.sqlite")
+        code = main([
+            "simulate", "--cloud", "ec2", "--ips", "512", "--days", "8",
+            "--seed", "3", "--chaos-rate", "0.9", "--chaos-seed", "7",
+            "--out", path,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "chaos: injecting" in output
+        assert "degraded rounds" in output
+
+        # The degraded flag is persisted, so `report` surfaces it too.
+        assert main(["report", path, "--no-cluster"]) == 0
+        assert "degraded rounds:" in capsys.readouterr().out
+
+    def test_zero_chaos_rate_is_clean(self, db_path, capsys):
+        """The module fixture ran without --chaos-rate: no degraded
+        rounds and no chaos banner."""
+        assert main(["report", db_path, "--no-cluster"]) == 0
+        assert "degraded" not in capsys.readouterr().out
+
+
 class TestReport:
     def test_report_runs(self, db_path, capsys):
         assert main(["report", db_path]) == 0

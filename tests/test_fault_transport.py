@@ -1,0 +1,269 @@
+"""Unit tests for the fault-injection transport (repro.core.faults)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    FaultyTransport,
+    chaos_plan,
+)
+from repro.core.transport import (
+    BodyTruncated,
+    ConnectionRefused,
+    ConnectTimeout,
+    ProtocolError,
+    TransportError,
+    classify_error,
+)
+
+from _fakes import FakeTransport
+
+
+def make_faulty(*rules, seed: int = 0) -> tuple[FaultyTransport, FakeTransport]:
+    inner = FakeTransport()
+    inner.add_host(1, {80}, body="<html><title>ok</title></html>")
+    faulty = FaultyTransport(inner, FaultPlan(seed=seed, rules=tuple(rules)))
+    faulty.on_round_start(1)
+    return faulty, inner
+
+
+def always(kind: FaultKind, **kwargs) -> FaultRule:
+    return FaultRule(kind=kind, probability=1.0, **kwargs)
+
+
+async def get_root(transport, ip: int = 1):
+    return await transport.get(
+        ip, "http", "/", timeout=5.0, max_body=1024
+    )
+
+
+class TestErrorTaxonomy:
+    def test_kinds_are_distinct(self):
+        kinds = {
+            TransportError.kind, ConnectTimeout.kind, ConnectionRefused.kind,
+            ProtocolError.kind, BodyTruncated.kind,
+        }
+        assert len(kinds) == 5
+
+    def test_subclasses_catchable_as_transport_error(self):
+        for exc_type in (ConnectTimeout, ConnectionRefused, ProtocolError,
+                         BodyTruncated):
+            with pytest.raises(TransportError):
+                raise exc_type("boom")
+
+    def test_classify_error(self):
+        assert classify_error(ConnectTimeout("x")) == "connect-timeout"
+        assert classify_error(ValueError("x")) == "transport-error"
+        assert classify_error(TransportError("x")) == "transport-error"
+
+
+class TestFaultKindMapping:
+    def test_connect_timeout(self):
+        faulty, _ = make_faulty(always(FaultKind.CONNECT_TIMEOUT))
+        with pytest.raises(ConnectTimeout):
+            asyncio.run(get_root(faulty))
+
+    def test_connection_refused(self):
+        faulty, _ = make_faulty(always(FaultKind.CONNECTION_REFUSED))
+        with pytest.raises(ConnectionRefused):
+            asyncio.run(get_root(faulty))
+
+    def test_reset_is_protocol_error(self):
+        faulty, _ = make_faulty(always(FaultKind.RESET))
+        with pytest.raises(ProtocolError):
+            asyncio.run(get_root(faulty))
+
+    def test_truncated_body(self):
+        faulty, _ = make_faulty(always(FaultKind.TRUNCATED_BODY))
+        with pytest.raises(BodyTruncated):
+            asyncio.run(get_root(faulty))
+
+    def test_garbage_headers_is_protocol_error(self):
+        faulty, _ = make_faulty(always(FaultKind.GARBAGE_HEADERS))
+        with pytest.raises(ProtocolError):
+            asyncio.run(get_root(faulty))
+
+    def test_status_storm_returns_valid_503(self):
+        faulty, _ = make_faulty(always(FaultKind.STATUS_STORM))
+        response = asyncio.run(get_root(faulty))
+        assert response.status_code == 503
+        assert response.content_type == "text/html"
+
+    def test_slow_response_below_timeout_succeeds(self):
+        faulty, _ = make_faulty(
+            always(FaultKind.SLOW_RESPONSE, delay=0.001)
+        )
+        response = asyncio.run(get_root(faulty))
+        assert response.status_code == 200
+        assert faulty.injected["slow-response"] == 1
+
+    def test_slow_response_beyond_timeout_times_out(self):
+        rule = always(FaultKind.SLOW_RESPONSE, delay=10.0)
+        faulty, _ = make_faulty(rule)
+        with pytest.raises(ConnectTimeout):
+            asyncio.run(get_root(faulty))
+
+
+class TestProbeFaults:
+    def test_connection_faults_hit_probes(self):
+        faulty, _ = make_faulty(always(FaultKind.CONNECT_TIMEOUT))
+        with pytest.raises(ConnectTimeout):
+            asyncio.run(faulty.probe(1, 80, timeout=2.0))
+
+    def test_response_faults_never_hit_probes(self):
+        """Truncation/garbage/5xx are response-level; a bare handshake
+        cannot observe them, so probes pass through untouched."""
+        faulty, inner = make_faulty(
+            always(FaultKind.TRUNCATED_BODY),
+            always(FaultKind.GARBAGE_HEADERS),
+            always(FaultKind.STATUS_STORM),
+        )
+        assert asyncio.run(faulty.probe(1, 80, timeout=2.0))
+        assert inner.probe_calls == [(1, 80)]
+
+    def test_banner_sees_connection_faults(self):
+        faulty, _ = make_faulty(always(FaultKind.CONNECTION_REFUSED))
+        with pytest.raises(ConnectionRefused):
+            asyncio.run(faulty.banner(1, 22, timeout=2.0))
+
+
+class TestScoping:
+    def test_per_ip(self):
+        faulty, inner = make_faulty(
+            always(FaultKind.CONNECTION_REFUSED, ips={2})
+        )
+        inner.add_host(2, {80})
+        assert asyncio.run(faulty.probe(1, 80, timeout=2.0))
+        with pytest.raises(ConnectionRefused):
+            asyncio.run(faulty.probe(2, 80, timeout=2.0))
+
+    def test_per_port(self):
+        faulty, inner = make_faulty(
+            always(FaultKind.CONNECT_TIMEOUT, ports={443})
+        )
+        inner.open_ports[1].add(443)
+        assert asyncio.run(faulty.probe(1, 80, timeout=2.0))
+        with pytest.raises(ConnectTimeout):
+            asyncio.run(faulty.probe(1, 443, timeout=2.0))
+
+    def test_per_round(self):
+        faulty, _ = make_faulty(
+            always(FaultKind.CONNECT_TIMEOUT, rounds={2})
+        )
+        assert asyncio.run(faulty.probe(1, 80, timeout=2.0))   # round 1
+        faulty.on_round_start(2)
+        with pytest.raises(ConnectTimeout):
+            asyncio.run(faulty.probe(1, 80, timeout=2.0))
+        faulty.on_round_start(3)
+        assert asyncio.run(faulty.probe(1, 80, timeout=2.0))
+
+    def test_rule_scope_accepts_any_iterable(self):
+        rule = FaultRule(FaultKind.RESET, ips=[1, 2], ports=(80,), rounds={1})
+        assert rule.matches(1, 80, 1)
+        assert not rule.matches(3, 80, 1)
+        assert not rule.matches(1, 22, 1)
+        assert not rule.matches(1, 80, 9)
+
+
+class TestDeterminism:
+    def run_storm(self, seed: int) -> list[str]:
+        """One scripted fetch sequence; returns per-request outcomes."""
+        inner = FakeTransport()
+        for ip in range(1, 21):
+            inner.add_host(ip, {80})
+        plan = chaos_plan(seed, rate=0.5, delay=0.0)
+        faulty = FaultyTransport(inner, plan)
+        outcomes: list[str] = []
+
+        async def run():
+            for round_id in (1, 2):
+                faulty.on_round_start(round_id)
+                for ip in range(1, 21):
+                    try:
+                        response = await get_root(faulty, ip)
+                        outcomes.append(f"status:{response.status_code}")
+                    except TransportError as exc:
+                        outcomes.append(classify_error(exc))
+
+        asyncio.run(run())
+        return outcomes
+
+    def test_same_seed_same_outcomes(self):
+        assert self.run_storm(7) == self.run_storm(7)
+
+    def test_different_seed_different_outcomes(self):
+        assert self.run_storm(7) != self.run_storm(8)
+
+    def test_attempts_drawn_independently(self):
+        """A 50% rule must not fail the same request forever: retries
+        (attempt counter) get fresh draws."""
+        inner = FakeTransport()
+        inner.add_host(1, {80})
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(FaultKind.CONNECTION_REFUSED, probability=0.5),
+        ))
+        faulty = FaultyTransport(inner, plan)
+        faulty.on_round_start(1)
+
+        async def run():
+            results = []
+            for _ in range(20):
+                try:
+                    await get_root(faulty)
+                    results.append(True)
+                except TransportError:
+                    results.append(False)
+            return results
+
+        results = asyncio.run(run())
+        assert True in results and False in results
+
+
+class TestPlanValidation:
+    def test_probability_range(self):
+        with pytest.raises(ValueError):
+            FaultRule(FaultKind.RESET, probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule(FaultKind.RESET, probability=-0.1)
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError):
+            FaultRule(FaultKind.SLOW_RESPONSE, delay=-1.0)
+
+    def test_chaos_plan_covers_all_kinds(self):
+        plan = chaos_plan(0, rate=0.1)
+        assert {rule.kind for rule in plan.rules} == set(FaultKind)
+
+    def test_chaos_plan_scope(self):
+        plan = chaos_plan(0, rate=1.0, ips={5}, rounds={2})
+        assert plan.fault_for("get", 5, 80, 2, 0) is not None
+        assert plan.fault_for("get", 6, 80, 2, 0) is None
+        assert plan.fault_for("get", 5, 80, 1, 0) is None
+
+
+class TestAuditCounters:
+    def test_injected_and_passthrough(self):
+        faulty, _ = make_faulty(
+            always(FaultKind.STATUS_STORM, rounds={1})
+        )
+        async def run():
+            await get_root(faulty)        # round 1: storm
+            faulty.on_round_start(2)
+            await get_root(faulty)        # round 2: clean
+        asyncio.run(run())
+        assert faulty.injected["5xx-storm"] == 1
+        assert faulty.passthrough["get"] == 1
+
+    def test_probe_call_budget_tracking(self):
+        faulty, _ = make_faulty()
+        async def run():
+            for _ in range(3):
+                await faulty.probe(1, 80, timeout=2.0)
+        asyncio.run(run())
+        assert faulty.probe_calls[(1, 1)] == 3

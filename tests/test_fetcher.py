@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import asyncio
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.core.config import FetchConfig
 from repro.core.fetcher import Fetcher, parse_robots
 from repro.core.records import FetchStatus, ProbeOutcome, ProbeStatus
@@ -41,6 +44,128 @@ class TestParseRobots:
     def test_comments_ignored(self):
         body = "# nothing to see\nUser-agent: *  # all\nDisallow: /private\n"
         assert parse_robots(body)
+
+    def test_comment_only_file_allows(self):
+        assert parse_robots("# one\n# two\n   # three\n")
+
+    def test_multi_agent_group_any_member_matching_applies(self):
+        """Consecutive User-agent lines form one group: its rules apply
+        when *any* named agent matches — even if a later, non-matching
+        agent line follows the matching one."""
+        body = "User-agent: whowas\nUser-agent: googlebot\nDisallow: /\n"
+        assert not parse_robots(body, user_agent="whowas-scanner/1.0")
+        body = "User-agent: googlebot\nUser-agent: whowas\nDisallow: /\n"
+        assert not parse_robots(body, user_agent="whowas-scanner/1.0")
+
+    def test_multi_agent_group_no_member_matching_ignored(self):
+        body = "User-agent: googlebot\nUser-agent: bingbot\nDisallow: /\n"
+        assert parse_robots(body, user_agent="whowas-scanner/1.0")
+
+    def test_new_group_resets_agent_match(self):
+        """A User-agent line after rules starts a fresh group — it must
+        not inherit the previous group's match."""
+        body = (
+            "User-agent: whowas\nDisallow: /private\n"
+            "User-agent: googlebot\nDisallow: /\n"
+        )
+        assert parse_robots(body, user_agent="whowas-scanner/1.0")
+
+    def test_crlf_line_endings(self):
+        body = "User-agent: *\r\nDisallow: /\r\n"
+        assert not parse_robots(body)
+        body = "User-agent: *\r\nDisallow: /private\r\n"
+        assert parse_robots(body)
+
+    def test_empty_agent_token_never_matches(self):
+        body = "User-agent:\nDisallow: /\n"
+        assert parse_robots(body, user_agent="whowas-scanner/1.0")
+
+
+def _reference_parse_robots(body: str, user_agent: str) -> bool:
+    """Straight-line reference implementation: build explicit groups of
+    (agent tokens, disallow values), then apply the matching rule."""
+    agent_lower = user_agent.lower()
+    groups: list[tuple[list[str], list[str]]] = []
+    current: tuple[list[str], list[str]] | None = None
+    reading_agents = False
+    for raw_line in body.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or ":" not in line:
+            continue
+        field, _, value = line.partition(":")
+        field = field.strip().lower()
+        value = value.strip()
+        if field == "user-agent":
+            if not reading_agents:
+                current = ([], [])
+                groups.append(current)
+            current[0].append(value.lower())
+            reading_agents = True
+        else:
+            reading_agents = False
+            if field == "disallow" and current is not None:
+                current[1].append(value)
+    for agents, disallows in groups:
+        applies = any(
+            token == "*" or (token != "" and token in agent_lower)
+            for token in agents
+        )
+        if applies and "/" in disallows:
+            return False
+    return True
+
+
+_AGENT_TOKENS = st.sampled_from(
+    ["*", "whowas", "googlebot", "bingbot", "WhoWas-Research", ""]
+)
+_DISALLOW_VALUES = st.sampled_from(["/", "", "/private", "/cgi-bin/", "/ "])
+
+
+@st.composite
+def robots_bodies(draw) -> str:
+    """Structured robots.txt files: groups of UA lines + rules, with
+    comments, junk lines, odd casing, and CRLF mixed in."""
+    lines: list[str] = []
+    for _ in range(draw(st.integers(0, 4))):
+        group_kind = draw(st.integers(0, 9))
+        if group_kind == 0:
+            lines.append(draw(st.sampled_from(
+                ["# comment", "   ", "no-colon-line", "Crawl-delay: 10"]
+            )))
+            continue
+        for _ in range(draw(st.integers(1, 3))):
+            field = draw(st.sampled_from(
+                ["User-agent", "user-agent", "USER-AGENT", "  User-Agent  "]
+            ))
+            lines.append(f"{field}: {draw(_AGENT_TOKENS)}")
+            if draw(st.booleans()):
+                lines.append("# interleaved comment")
+        for _ in range(draw(st.integers(0, 3))):
+            field = draw(st.sampled_from(["Disallow", "disallow", " Disallow "]))
+            lines.append(f"{field}: {draw(_DISALLOW_VALUES)}")
+    newline = draw(st.sampled_from(["\n", "\r\n"]))
+    return newline.join(lines) + draw(st.sampled_from(["", newline]))
+
+
+class TestParseRobotsProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(body=robots_bodies(),
+           agent=st.sampled_from(["whowas-scanner/1.0", "GoogleBot/2.1", "x"]))
+    def test_matches_reference_parser(self, body: str, agent: str):
+        assert parse_robots(body, agent) == _reference_parse_robots(body, agent)
+
+    @settings(max_examples=100, deadline=None)
+    @given(body=robots_bodies(), agent=st.text(max_size=20))
+    def test_total_on_any_input(self, body: str, agent: str):
+        """Never raises, always returns a bool, CRLF-insensitive."""
+        result = parse_robots(body, agent)
+        assert isinstance(result, bool)
+        assert parse_robots(body.replace("\n", "\r\n"), agent) == result
+
+    @settings(max_examples=100, deadline=None)
+    @given(body=st.text(alphabet=st.characters(codec="utf-8"), max_size=200))
+    def test_arbitrary_garbage_never_crashes(self, body: str):
+        assert isinstance(parse_robots(body, "whowas"), bool)
 
 
 class TestFetchIp:
@@ -150,6 +275,115 @@ class TestFetchIp:
         fetcher = Fetcher(transport)
         asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
         assert "WhoWas" in captured["headers"]["User-Agent"]
+
+
+class TestErrorClassAndRetries:
+    def test_error_class_recorded(self):
+        from repro.core.transport import ConnectTimeout
+
+        class TimeoutTransport(FakeTransport):
+            async def get(self, ip, scheme, path, *, timeout, max_body,
+                          headers=None):
+                raise ConnectTimeout("injected")
+
+        transport = TimeoutTransport()
+        transport.open_ports[1] = {80}
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.ERROR
+        assert result.error_class == "connect-timeout"
+        assert fetcher.fetch_errors == 1
+
+    def test_ok_result_has_no_error_class(self):
+        transport = FakeTransport()
+        transport.add_host(1, {80})
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.error_class is None
+
+    def test_no_retries_by_default(self):
+        """Paper semantics: a failed page fetch is recorded, not
+        retried."""
+        from repro.core.transport import ConnectionRefused
+
+        calls = {"page": 0}
+
+        class FlakyTransport(FakeTransport):
+            async def get(self, ip, scheme, path, *, timeout, max_body,
+                          headers=None):
+                if path == "/":
+                    calls["page"] += 1
+                    if calls["page"] == 1:
+                        raise ConnectionRefused("first attempt refused")
+                return await super().get(
+                    ip, scheme, path, timeout=timeout, max_body=max_body
+                )
+
+        transport = FlakyTransport()
+        transport.add_host(1, {80})
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.ERROR
+        assert calls["page"] == 1
+
+    def test_retry_policy_recovers_transient_failure(self):
+        from repro.core.transport import ConnectionRefused
+
+        calls = {"page": 0}
+
+        class FlakyTransport(FakeTransport):
+            async def get(self, ip, scheme, path, *, timeout, max_body,
+                          headers=None):
+                if path == "/":
+                    calls["page"] += 1
+                    if calls["page"] <= 2:
+                        raise ConnectionRefused("transient")
+                return await super().get(
+                    ip, scheme, path, timeout=timeout, max_body=max_body
+                )
+
+        transport = FlakyTransport()
+        transport.add_host(1, {80})
+        fetcher = Fetcher(
+            transport, FetchConfig(retries=2, retry_base_delay=0.0)
+        )
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.OK
+        assert calls["page"] == 3
+
+    def test_retries_are_bounded(self):
+        from repro.core.transport import ConnectionRefused
+
+        calls = {"page": 0}
+
+        class DeadTransport(FakeTransport):
+            async def get(self, ip, scheme, path, *, timeout, max_body,
+                          headers=None):
+                if path == "/":
+                    calls["page"] += 1
+                raise ConnectionRefused("always")
+
+        transport = DeadTransport()
+        transport.open_ports[1] = {80}
+        fetcher = Fetcher(
+            transport,
+            FetchConfig(retries=2, retry_base_delay=0.0,
+                        respect_robots=False),
+        )
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.status is FetchStatus.ERROR
+        assert result.error_class == "connection-refused"
+        assert calls["page"] == 3
+
+    def test_backoff_delay_deterministic_and_capped(self):
+        fetcher = Fetcher(
+            FakeTransport(),
+            FetchConfig(retries=5, retry_base_delay=0.1, retry_max_delay=0.3),
+        )
+        delays = [fetcher._backoff_delay(7, attempt) for attempt in range(5)]
+        assert delays == [fetcher._backoff_delay(7, a) for a in range(5)]
+        assert all(d <= 0.3 for d in delays)
+        assert all(d >= 0 for d in delays)
 
 
 class TestRobotsErrorPaths:

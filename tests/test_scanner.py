@@ -10,6 +10,7 @@ import pytest
 from repro.core.config import ScanConfig
 from repro.core.records import ProbeStatus
 from repro.core.scanner import RateLimiter, Scanner
+from repro.core.transport import ConnectionRefused, ConnectTimeout
 
 from _fakes import FakeTransport
 
@@ -88,6 +89,42 @@ class TestScanIp:
         assert outcome.status is ProbeStatus.RESPONSIVE
 
 
+class TestProbeErrorClass:
+    def test_classified_failure_recorded_on_outcome(self):
+        transport = FakeTransport()
+        transport.probe_raises[(4, 80)] = ConnectTimeout("injected")
+        transport.probe_raises[(4, 443)] = ConnectTimeout("injected")
+        transport.probe_raises[(4, 22)] = ConnectionRefused("injected")
+        scanner = Scanner(transport, fast_config())
+        outcome = asyncio.run(scanner.scan_ip(4))
+        assert outcome.status is ProbeStatus.UNRESPONSIVE
+        # The last classified error wins (the SSH fallback's refusal).
+        assert outcome.error_class == "connection-refused"
+        assert scanner.probe_errors == 3
+
+    def test_raising_probe_counts_as_failed_not_crash(self):
+        """A transport that raises typed errors must not break the scan
+        or the probe budget."""
+        transport = FakeTransport()
+        transport.probe_raises[(4, 80)] = ConnectTimeout("injected")
+        transport.add_host(4, {443})
+        scanner = Scanner(transport, fast_config())
+        outcome = asyncio.run(scanner.scan_ip(4))
+        assert outcome.status is ProbeStatus.RESPONSIVE
+        assert outcome.open_ports == {443}
+        # Responsive IPs don't carry a probe error class.
+        assert outcome.error_class is None
+        assert len(transport.probe_calls) == 2
+
+    def test_silent_failures_have_no_error_class(self):
+        transport = FakeTransport()
+        scanner = Scanner(transport, fast_config())
+        outcome = asyncio.run(scanner.scan_ip(9))
+        assert outcome.status is ProbeStatus.UNRESPONSIVE
+        assert outcome.error_class is None
+        assert scanner.probe_errors == 0
+
+
 class TestScanMany:
     def test_order_preserved(self):
         transport = FakeTransport()
@@ -135,3 +172,90 @@ class TestRateLimiter:
             return time.monotonic() - start
 
         assert asyncio.run(run()) < 0.5
+
+    def test_burst_capacity_spent_immediately(self):
+        """A full bucket allows exactly `burst` acquires without
+        sleeping; the next one must wait a full token period."""
+        async def run():
+            limiter = RateLimiter(50.0, burst=5)
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            for _ in range(5):
+                await limiter.acquire()
+            burst_elapsed = loop.time() - start
+            await limiter.acquire()           # 6th: needs 1/50 s refill
+            total_elapsed = loop.time() - start
+            return burst_elapsed, total_elapsed
+
+        burst_elapsed, total_elapsed = asyncio.run(run())
+        assert burst_elapsed < 0.01
+        assert total_elapsed >= 0.015
+
+    def test_tokens_refill_over_loop_time(self):
+        """Idle time earns tokens back (up to capacity): after draining
+        the bucket, waiting 2 token-periods buys 2 immediate acquires."""
+        async def run():
+            limiter = RateLimiter(100.0, burst=2)
+            loop = asyncio.get_running_loop()
+            await limiter.acquire()
+            await limiter.acquire()           # bucket empty
+            await asyncio.sleep(0.025)        # refills ~2.5 → capped at 2
+            start = loop.time()
+            await limiter.acquire()
+            await limiter.acquire()
+            fast = loop.time() - start
+            start = loop.time()
+            await limiter.acquire()           # 3rd: bucket empty again
+            slow = loop.time() - start
+            return fast, slow
+
+        fast, slow = asyncio.run(run())
+        assert fast < 0.01
+        assert slow >= 0.005
+
+    def test_refill_capped_at_capacity(self):
+        """A long idle period must not bank unbounded burst credit."""
+        async def run():
+            limiter = RateLimiter(100.0, burst=2)
+            await limiter.acquire()
+            await asyncio.sleep(0.1)          # would earn 10 tokens uncapped
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            for _ in range(4):                # capacity 2 → 2 fast + 2 slow
+                await limiter.acquire()
+            return loop.time() - start
+
+        # 2 tokens free, 2 at 100/s → ≥ ~0.02 s minus scheduling slop.
+        assert asyncio.run(run()) >= 0.015
+
+    def test_rate_bounded_under_concurrent_acquire(self):
+        """The §7 politeness invariant: N concurrent acquirers cannot
+        push the observed probe rate above the configured pps."""
+        rate, burst, tasks = 400.0, 1.0, 41
+
+        async def worker(limiter, stamps):
+            await limiter.acquire()
+            stamps.append(asyncio.get_running_loop().time())
+
+        async def run():
+            limiter = RateLimiter(rate, burst=burst)
+            stamps: list[float] = []
+            await asyncio.gather(
+                *(worker(limiter, stamps) for _ in range(tasks))
+            )
+            return stamps
+
+        stamps = asyncio.run(run())
+        assert len(stamps) == tasks
+        elapsed = max(stamps) - min(stamps)
+        # 40 post-burst tokens at 400/s need ≥ 0.1 s (80% slack for
+        # scheduling jitter biasing the measurement *down* is impossible:
+        # sleeps only ever overshoot, so this bound is safe).
+        assert elapsed >= (tasks - burst) / rate * 0.95
+        # And in any sliding 25 ms window, at most rate*0.025 + burst
+        # acquisitions happened.
+        window = 0.025
+        ordered = sorted(stamps)
+        for i, start in enumerate(ordered):
+            in_window = sum(1 for t in ordered[i:] if t - start <= window)
+            assert in_window <= rate * window + burst + 1
