@@ -1,14 +1,22 @@
-"""Command-line interface: simulate, scan, report, lookup, aggregate.
+"""Command-line interface: simulate, resume, scan, report, lookup, aggregate.
 
 ``python -m repro simulate`` runs a full measurement campaign against a
 simulated cloud and writes the round database to a sqlite file; the
 other subcommands analyse such a database (or one produced by a real
 ``scan``).  The platform's politeness defaults apply to real scans.
+
+``simulate`` and ``scan`` install SIGINT/SIGTERM handlers that
+checkpoint the in-flight shard and exit 0; ``repro resume <db>``
+continues an interrupted campaign from the first incomplete day/shard
+using the parameters persisted in the database.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
+import signal
 import sys
 from typing import Sequence
 
@@ -21,10 +29,36 @@ from .analysis import (
     build_aggregate_report,
 )
 from .cloudsim.addressing import ip_to_int
-from .core import MeasurementStore, SocketTransport, WhoWas
-from .workloads import Campaign, azure_scenario, ec2_scenario
+from .core import MeasurementStore, RoundInterrupted, SocketTransport, WhoWas
+from .workloads import (
+    Campaign,
+    CampaignInterrupted,
+    azure_scenario,
+    ec2_scenario,
+)
 
 __all__ = ["main", "build_parser"]
+
+
+def _install_abort_handler() -> asyncio.Event:
+    """Turn SIGINT/SIGTERM into a cooperative abort: the first signal
+    asks the platform to checkpoint its current shard and stop cleanly;
+    a second one falls back to an immediate KeyboardInterrupt."""
+    event = asyncio.Event()
+
+    def handler(signum, frame):
+        if event.is_set():
+            raise KeyboardInterrupt
+        event.set()
+        print("\ninterrupt received — checkpointing current shard "
+              "(signal again to force quit)", file=sys.stderr)
+
+    try:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(sig, handler)
+    except ValueError:
+        pass        # not the main thread (embedded use): no signal hook
+    return event
 
 
 def _chaos_rate(value: str) -> float:
@@ -65,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--chaos-seed", type=int, default=0,
                           help="seed for the fault plan (with --chaos-rate)")
 
+    resume = commands.add_parser(
+        "resume", help="continue an interrupted simulate campaign"
+    )
+    resume.add_argument("db", help="round database of the interrupted run")
+
     scan = commands.add_parser(
         "scan", help="scan real targets over the network (polite defaults)"
     )
@@ -101,6 +140,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "simulate": _cmd_simulate,
+        "resume": _cmd_resume,
         "scan": _cmd_scan,
         "report": _cmd_report,
         "lookup": _cmd_lookup,
@@ -109,28 +149,80 @@ def main(argv: Sequence[str] | None = None) -> int:
     return handler(args)
 
 
-def _cmd_simulate(args) -> int:
-    builder = ec2_scenario if args.cloud == "ec2" else azure_scenario
-    kwargs = {"total_ips": args.ips, "seed": args.seed}
-    if args.days is not None:
-        kwargs["duration_days"] = args.days
+def _build_sim_scenario(params: dict):
+    """Assemble the (possibly chaos-wrapped) scenario a parameter dict
+    describes — shared by ``simulate`` and ``resume`` so a resumed
+    campaign sees the byte-identical cloud."""
+    builder = ec2_scenario if params["cloud"] == "ec2" else azure_scenario
+    kwargs = {"total_ips": params["ips"], "seed": params["seed"]}
+    if params.get("days") is not None:
+        kwargs["duration_days"] = params["days"]
     scenario = builder(**kwargs)
-    print(f"simulating {scenario.name}: {len(scenario.targets)} IPs, "
-          f"{len(scenario.scan_days)} rounds")
-    if args.chaos_rate > 0:
+    chaos_rate = params.get("chaos_rate", 0.0)
+    if chaos_rate > 0:
         from .core import FaultyTransport, chaos_plan
 
-        plan = chaos_plan(args.chaos_seed, rate=args.chaos_rate)
+        plan = chaos_plan(params.get("chaos_seed", 0), rate=chaos_rate)
         scenario.transport = FaultyTransport(scenario.transport, plan)
         print(f"chaos: injecting {len(plan.rules)} fault kinds at "
-              f"rate {args.chaos_rate} (seed {args.chaos_seed})")
-    store = MeasurementStore(args.out)
-    result = Campaign(scenario, store=store).run(progress=True)
+              f"rate {chaos_rate} (seed {params.get('chaos_seed', 0)})")
+    return scenario
+
+
+def _finish_campaign(result, store, db_path: str) -> int:
     degraded = [s.round_id for s in result.summaries if s.degraded]
     if degraded:
         print(f"degraded rounds (error budget exceeded): {degraded}")
-    print(f"round database written to {args.out}")
+    print(f"round database written to {db_path}")
     return 0
+
+
+def _cmd_simulate(args) -> int:
+    params = {
+        "cloud": args.cloud, "ips": args.ips, "seed": args.seed,
+        "days": args.days, "chaos_rate": args.chaos_rate,
+        "chaos_seed": args.chaos_seed,
+    }
+    scenario = _build_sim_scenario(params)
+    print(f"simulating {scenario.name}: {len(scenario.targets)} IPs, "
+          f"{len(scenario.scan_days)} rounds")
+    store = MeasurementStore(args.out)
+    store.set_meta("simulate_args", json.dumps(params))
+    abort_event = _install_abort_handler()
+    try:
+        result = Campaign(scenario, store=store).run(
+            progress=True, abort_event=abort_event
+        )
+    except CampaignInterrupted as exc:
+        print(f"campaign checkpointed — resumable at day {exc.day}")
+        print(f"run `repro resume {args.out}` to continue")
+        return 0
+    return _finish_campaign(result, store, args.out)
+
+
+def _cmd_resume(args) -> int:
+    store = MeasurementStore(args.db)
+    raw = store.get_meta("simulate_args")
+    if raw is None:
+        print(f"{args.db}: no campaign metadata; not resumable",
+              file=sys.stderr)
+        return 1
+    scenario = _build_sim_scenario(json.loads(raw))
+    campaign = Campaign(scenario, store=store)
+    done = len(json.loads(store.get_meta("completed_days") or "[]"))
+    total = len(json.loads(store.get_meta("scan_days") or "[]"))
+    partial = store.open_rounds()
+    print(f"resuming {scenario.name}: {done}/{total} days complete"
+          + (f", partial round at day {partial[0].timestamp}"
+             if partial else ""))
+    abort_event = _install_abort_handler()
+    try:
+        result = campaign.resume(progress=True, abort_event=abort_event)
+    except CampaignInterrupted as exc:
+        print(f"campaign checkpointed — resumable at day {exc.day}")
+        print(f"run `repro resume {args.db}` to continue")
+        return 0
+    return _finish_campaign(result, store, args.db)
 
 
 def _cmd_scan(args) -> int:
@@ -141,7 +233,27 @@ def _cmd_scan(args) -> int:
         return 1
     store = MeasurementStore(args.out)
     platform = WhoWas(SocketTransport(), store)
-    summary = platform.run_round(targets, timestamp=args.timestamp)
+    # A previous interrupted scan of the same timestamp resumes instead
+    # of starting over.
+    resume_id = next(
+        (info.round_id for info in store.open_rounds()
+         if info.timestamp == args.timestamp),
+        None,
+    )
+    abort_event = _install_abort_handler()
+    try:
+        summary = platform.run_round(
+            targets, timestamp=args.timestamp,
+            abort_event=abort_event, resume_round_id=resume_id,
+        )
+    except RoundInterrupted as exc:
+        print(f"scan checkpointed after {exc.shards_done}/{exc.shards_total} "
+              f"shards — resumable at day {exc.timestamp}")
+        print(f"re-run the same scan against {args.out} to continue")
+        return 0
+    except ValueError as exc:
+        print(f"cannot start round: {exc}", file=sys.stderr)
+        return 1
     print(f"probed {len(targets)} targets: responsive={summary.responsive} "
           f"available={summary.available}")
     return 0

@@ -10,7 +10,7 @@ from .crawler import Crawler, CrawlResult
 from .faults import FaultKind, FaultPlan, FaultRule, FaultyTransport, chaos_plan
 from .features import FeatureExtractor, extract_internal_links, extract_links
 from .fetcher import Fetcher, parse_robots
-from .platform import RoundSummary, WhoWas
+from .platform import RoundInterrupted, RoundSummary, WhoWas
 from .records import (
     UNKNOWN,
     FetchResult,
@@ -21,7 +21,7 @@ from .records import (
     ProbeStatus,
     RoundRecord,
 )
-from .scanner import RateLimiter, Scanner
+from .scanner import RateLimiter, Scanner, SubnetCircuitBreaker
 from .simhash import HASH_BITS, hamming_distance, simhash
 from .store import MeasurementStore, RoundInfo
 from .transport import (
@@ -53,6 +53,7 @@ __all__ = [
     "extract_links",
     "Fetcher",
     "parse_robots",
+    "RoundInterrupted",
     "RoundSummary",
     "WhoWas",
     "UNKNOWN",
@@ -65,6 +66,7 @@ __all__ = [
     "RoundRecord",
     "RateLimiter",
     "Scanner",
+    "SubnetCircuitBreaker",
     "HASH_BITS",
     "hamming_distance",
     "simhash",

@@ -31,6 +31,13 @@ class ScanConfig:
     fallback_ports: tuple[int, ...] = (22,)
     #: Maximum concurrent in-flight probes.
     concurrency: int = 256
+    #: Per-/24-subnet circuit breaker: after this many *consecutive*
+    #: classified probe failures inside one subnet in a round, the rest
+    #: of the subnet is skipped with
+    #: :attr:`~repro.core.records.ProbeStatus.CIRCUIT_OPEN` instead of
+    #: burning a full probe timeout per address.  The breaker resets at
+    #: the start of every round.  0 (the default) disables it.
+    subnet_error_threshold: int = 0
 
     def __post_init__(self) -> None:
         if self.probe_timeout <= 0:
@@ -39,6 +46,8 @@ class ScanConfig:
             raise ValueError("probes_per_second must be positive")
         if self.concurrency <= 0:
             raise ValueError("concurrency must be positive")
+        if self.subnet_error_threshold < 0:
+            raise ValueError("subnet_error_threshold must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -124,7 +133,13 @@ class PlatformConfig:
     #: and persists, but analyses can discount it.  1.0 disables the
     #: check entirely.
     round_error_budget: float = 0.5
+    #: Checkpoint granularity: targets are scanned in shards of this
+    #: many IPs, each committed to the store as it completes, so a
+    #: crash or abort loses at most one shard of work.
+    shard_size: int = 1024
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.round_error_budget <= 1.0:
             raise ValueError("round_error_budget must be in [0, 1]")
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")

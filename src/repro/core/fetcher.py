@@ -116,6 +116,14 @@ class Fetcher:
     def fetch_sync(self, outcomes: Sequence[ProbeOutcome]) -> list[FetchResult]:
         return asyncio.run(self.fetch(outcomes))
 
+    def stats_snapshot(self) -> dict[str, int]:
+        """Lifetime counters, snapshotted — the platform diffs two
+        snapshots to attribute errors/operations to one shard."""
+        return {
+            "gets_sent": self.gets_sent,
+            "fetch_errors": self.fetch_errors,
+        }
+
     # ------------------------------------------------------------------
 
     async def _robots_allows(self, ip: int, scheme: str) -> bool:

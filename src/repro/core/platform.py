@@ -4,6 +4,15 @@ Wires together the pipeline of Figure 1: scanner → fetcher → feature
 generator → database.  One :meth:`WhoWas.run_round` call performs one
 complete round of scanning over the target list, and the store exposes
 the programmatic lookup interface analyses are built on.
+
+Rounds are processed in **shards** of ``PlatformConfig.shard_size``
+targets, each committed to the store as it completes (the journaled
+protocol of :class:`~repro.core.store.MeasurementStore`).  A crash or a
+cooperative abort (``abort_event``) therefore loses at most one shard
+of work; the round stays ``in_progress`` in the store and a later call
+with ``resume_round_id`` finishes exactly the shards that are missing.
+Round IDs are durable: they continue from ``max(round_id) + 1`` in the
+store rather than resetting to 1 on process start.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from .fetcher import Fetcher
 from .records import (
     FetchResult,
     FetchStatus,
+    ProbeOutcome,
     ProbeStatus,
     RoundRecord,
 )
@@ -25,7 +35,25 @@ from .scanner import Scanner
 from .store import MeasurementStore, RoundInfo
 from .transport import Transport
 
-__all__ = ["RoundSummary", "WhoWas"]
+__all__ = ["RoundSummary", "RoundInterrupted", "WhoWas"]
+
+
+class RoundInterrupted(Exception):
+    """A round stopped cooperatively after checkpointing its current
+    shard; the store holds a resumable partial round."""
+
+    def __init__(
+        self, round_id: int, timestamp: int,
+        shards_done: int, shards_total: int,
+    ):
+        self.round_id = round_id
+        self.timestamp = timestamp
+        self.shards_done = shards_done
+        self.shards_total = shards_total
+        super().__init__(
+            f"round {round_id} (day {timestamp}) interrupted after "
+            f"{shards_done}/{shards_total} shards; resumable"
+        )
 
 
 @dataclass(frozen=True)
@@ -38,6 +66,8 @@ class RoundSummary:
     fetched: int
     #: Classified transport errors observed this round (probes + GETs).
     errors: int = 0
+    #: Targets skipped because their /24's circuit breaker was open.
+    circuit_open: int = 0
 
     @property
     def round_id(self) -> int:
@@ -57,7 +87,9 @@ class WhoWas:
     transport:
         Network implementation (real sockets or the cloud simulator).
     store:
-        Round database; defaults to an in-memory store.
+        Round database; defaults to an in-memory store.  Round IDs
+        continue from the store's high-water mark, so reopening a
+        campaign database never reuses an ID.
     config:
         Scanner/fetcher parameters; defaults follow the paper.
     """
@@ -76,10 +108,15 @@ class WhoWas:
         )
         self.fetcher = Fetcher(transport, self.config.fetch)
         self.features = FeatureExtractor()
-        self._next_round_id = 1
+        self._next_round_id = self.store.max_round_id() + 1
 
     async def run_round_async(
-        self, targets: Sequence[int], timestamp: int
+        self,
+        targets: Sequence[int],
+        timestamp: int,
+        *,
+        abort_event: asyncio.Event | None = None,
+        resume_round_id: int | None = None,
     ) -> RoundSummary:
         """Perform one round: probe every target, fetch pages from IPs
         with open web ports, extract features, persist the results.
@@ -87,18 +124,88 @@ class WhoWas:
         The round always completes: classified transport failures are
         recorded on the per-IP records, and a round whose failure ratio
         exceeds ``PlatformConfig.round_error_budget`` is marked
-        *degraded* in its :class:`RoundInfo` instead of raising."""
-        round_id = self._next_round_id
-        self._next_round_id += 1
+        *degraded* in its :class:`RoundInfo` instead of raising.
+
+        Targets are processed in shards checkpointed as they commit.
+        When *abort_event* is set, the in-flight shard finishes and the
+        round is left ``in_progress`` behind a :class:`RoundInterrupted`.
+        Passing *resume_round_id* re-enters such a round: committed
+        shards are skipped, so no row is ever duplicated.
+        """
+        if resume_round_id is not None:
+            round_id = resume_round_id
+            info = self.store.begin_round(
+                round_id, timestamp, len(targets),
+                shard_size=self.config.shard_size,
+            )
+            done = self.store.completed_shards(round_id)
+            # Shard indices must line up with the committed ones, so a
+            # resumed round keeps the shard size it started with.
+            shard_size = info.shard_size or self.config.shard_size
+        else:
+            round_id = self._next_round_id
+            self.store.begin_round(
+                round_id, timestamp, len(targets),
+                shard_size=self.config.shard_size,
+            )
+            done = set()
+            shard_size = self.config.shard_size
+        self._next_round_id = max(self._next_round_id, round_id + 1)
         round_hook = getattr(self.transport, "on_round_start", None)
         if callable(round_hook):
             round_hook(round_id)
+        self.scanner.breaker.reset()
 
-        probes_before = self.scanner.probes_sent
-        probe_errors_before = self.scanner.probe_errors
-        fetch_errors_before = self.fetcher.fetch_errors
+        shards = [
+            targets[start:start + shard_size]
+            for start in range(0, len(targets), shard_size)
+        ] or [targets]
+        circuit_before = self.scanner.circuit_open_skips
+        for index, shard in enumerate(shards):
+            if index in done:
+                continue
+            if abort_event is not None and abort_event.is_set():
+                raise RoundInterrupted(
+                    round_id, timestamp,
+                    len(self.store.completed_shards(round_id)), len(shards),
+                )
+            records, errors, operations = await self._run_shard(
+                shard, round_id, timestamp
+            )
+            self.store.write_shard(
+                round_id, index, records,
+                errors=errors, operations=operations,
+            )
 
-        outcomes = await self.scanner.scan(targets)
+        errors, operations = self.store.shard_stats(round_id)
+        budget = self.config.round_error_budget
+        degraded = (
+            budget < 1.0
+            and operations > 0
+            and errors / operations > budget
+        )
+        info = self.store.finalize_round(
+            round_id, degraded=degraded, error_count=errors
+        )
+        stats = self.store.round_stats(round_id)
+        return RoundSummary(
+            info=info,
+            responsive=stats["responsive"],
+            available=stats["available"],
+            fetched=stats["fetched"],
+            errors=errors,
+            circuit_open=self.scanner.circuit_open_skips - circuit_before,
+        )
+
+    async def _run_shard(
+        self, shard: Sequence[int], round_id: int, timestamp: int
+    ) -> tuple[list[RoundRecord], int, int]:
+        """Scan/fetch/extract one shard; returns its records plus the
+        shard's classified-error and network-operation counts."""
+        scan_before = self.scanner.stats_snapshot()
+        fetch_before = self.fetcher.stats_snapshot()
+
+        outcomes = await self.scanner.scan(shard)
         to_fetch = [o for o in outcomes if o.responsive and o.wants_fetch]
         fetch_results = await self.fetcher.fetch(to_fetch)
         fetch_by_ip = {result.ip: result for result in fetch_results}
@@ -107,7 +214,6 @@ class WhoWas:
             banners = await self._grab_banners(outcomes)
 
         records: list[RoundRecord] = []
-        available = 0
         for outcome in outcomes:
             if outcome.status is not ProbeStatus.RESPONSIVE:
                 continue
@@ -116,7 +222,7 @@ class WhoWas:
                 FetchResult(ip=outcome.ip, status=FetchStatus.NOT_ATTEMPTED),
             )
             features = self.features.extract(fetch) if fetch.body else None
-            record = RoundRecord(
+            records.append(RoundRecord(
                 ip=outcome.ip,
                 round_id=round_id,
                 timestamp=timestamp,
@@ -124,40 +230,33 @@ class WhoWas:
                 fetch=fetch,
                 features=features,
                 ssh_banner=banners.get(outcome.ip),
-            )
-            if record.available:
-                available += 1
-            records.append(record)
+            ))
 
+        scan_after = self.scanner.stats_snapshot()
+        fetch_after = self.fetcher.stats_snapshot()
         errors = (
-            (self.scanner.probe_errors - probe_errors_before)
-            + (self.fetcher.fetch_errors - fetch_errors_before)
+            (scan_after["probe_errors"] - scan_before["probe_errors"])
+            + (fetch_after["fetch_errors"] - fetch_before["fetch_errors"])
         )
         operations = (
-            (self.scanner.probes_sent - probes_before) + len(to_fetch)
+            (scan_after["probes_sent"] - scan_before["probes_sent"])
+            + len(to_fetch)
         )
-        budget = self.config.round_error_budget
-        degraded = (
-            budget < 1.0
-            and operations > 0
-            and errors / operations > budget
-        )
+        return records, errors, operations
 
-        info = self.store.write_round(
-            round_id, timestamp, len(targets), records,
-            degraded=degraded, error_count=errors,
-        )
-        return RoundSummary(
-            info=info,
-            responsive=len(records),
-            available=available,
-            fetched=len(fetch_results),
-            errors=errors,
-        )
-
-    def run_round(self, targets: Sequence[int], timestamp: int) -> RoundSummary:
+    def run_round(
+        self,
+        targets: Sequence[int],
+        timestamp: int,
+        *,
+        abort_event: asyncio.Event | None = None,
+        resume_round_id: int | None = None,
+    ) -> RoundSummary:
         """Synchronous wrapper around :meth:`run_round_async`."""
-        return asyncio.run(self.run_round_async(targets, timestamp))
+        return asyncio.run(self.run_round_async(
+            targets, timestamp,
+            abort_event=abort_event, resume_round_id=resume_round_id,
+        ))
 
     async def _grab_banners(
         self, outcomes: Sequence[ProbeOutcome]

@@ -19,7 +19,55 @@ from .config import ScanConfig
 from .records import ProbeOutcome, ProbeStatus
 from .transport import Transport, TransportError
 
-__all__ = ["RateLimiter", "Scanner"]
+__all__ = ["RateLimiter", "SubnetCircuitBreaker", "Scanner"]
+
+
+class SubnetCircuitBreaker:
+    """Per-/24-subnet breaker guarding the probe budget.
+
+    Pathological subnets (null-routed, fully firewalled) make every
+    probe burn the full timeout.  The breaker counts *consecutive*
+    per-IP classified probe failures within each /24; once a subnet
+    accumulates ``threshold`` of them, the rest of its addresses are
+    skipped for the round with :attr:`ProbeStatus.CIRCUIT_OPEN`.  Any
+    clean outcome (responsive, or unresponsive without a classified
+    error) resets the subnet's streak.  ``threshold <= 0`` disables
+    the breaker entirely; the platform resets it every round.
+    """
+
+    def __init__(self, threshold: int = 0):
+        self.threshold = threshold
+        self._streak: dict[int, int] = {}
+        self._open: set[int] = set()
+
+    @staticmethod
+    def subnet(ip: int) -> int:
+        return ip >> 8
+
+    def is_open(self, ip: int) -> bool:
+        return self.threshold > 0 and (ip >> 8) in self._open
+
+    def record(self, ip: int, errored: bool) -> None:
+        """Feed one finished probe outcome into the breaker."""
+        if self.threshold <= 0:
+            return
+        net = ip >> 8
+        if not errored:
+            self._streak[net] = 0
+            return
+        streak = self._streak.get(net, 0) + 1
+        self._streak[net] = streak
+        if streak >= self.threshold:
+            self._open.add(net)
+
+    def reset(self) -> None:
+        """Close every breaker (called at the start of each round)."""
+        self._streak.clear()
+        self._open.clear()
+
+    @property
+    def open_subnets(self) -> frozenset[int]:
+        return frozenset(self._open)
 
 
 class RateLimiter:
@@ -72,11 +120,16 @@ class Scanner:
         self.config = config or ScanConfig()
         self.blacklist = frozenset(blacklist)
         self._limiter = RateLimiter(self.config.probes_per_second)
+        #: Per-/24 circuit breaker (disabled unless
+        #: :attr:`ScanConfig.subnet_error_threshold` is set).
+        self.breaker = SubnetCircuitBreaker(self.config.subnet_error_threshold)
         #: Total probes sent across the scanner's lifetime (ethics audit).
         self.probes_sent = 0
         #: Probes that failed with a *classified* transport error across
         #: the scanner's lifetime (feeds the platform's error budget).
         self.probe_errors = 0
+        #: Targets skipped because their subnet's breaker was open.
+        self.circuit_open_skips = 0
 
     async def scan_ip(self, ip: int) -> ProbeOutcome:
         """Probe one IP: web ports first, SSH fallback (§4).
@@ -89,6 +142,9 @@ class Scanner:
         """
         if ip in self.blacklist:
             return ProbeOutcome(ip=ip, status=ProbeStatus.SKIPPED)
+        if self.breaker.is_open(ip):
+            self.circuit_open_skips += 1
+            return ProbeOutcome(ip=ip, status=ProbeStatus.CIRCUIT_OPEN)
         open_ports: set[int] = set()
         error_class: str | None = None
         for port in self.config.web_ports:
@@ -103,6 +159,7 @@ class Scanner:
                 if opened:
                     open_ports.add(port)
         status = ProbeStatus.RESPONSIVE if open_ports else ProbeStatus.UNRESPONSIVE
+        self.breaker.record(ip, not open_ports and error_class is not None)
         return ProbeOutcome(
             ip=ip,
             status=status,
@@ -128,6 +185,15 @@ class Scanner:
     def scan_sync(self, ips: Sequence[int]) -> list[ProbeOutcome]:
         """Convenience wrapper running :meth:`scan` on a fresh event loop."""
         return asyncio.run(self.scan(ips))
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Lifetime counters, snapshotted — the platform diffs two
+        snapshots to attribute errors/operations to one shard."""
+        return {
+            "probes_sent": self.probes_sent,
+            "probe_errors": self.probe_errors,
+            "circuit_open_skips": self.circuit_open_skips,
+        }
 
     async def _probe_once(
         self, ip: int, port: int, error_class: str | None = None

@@ -10,6 +10,29 @@ the same.
 Only *responsive* IPs produce rows (the target list is known, so
 unresponsiveness is encoded by absence), which keeps a campaign's
 database proportional to cloud usage rather than address-space size.
+
+Crash safety
+------------
+The paper's campaigns run for months; losing one to a mid-round crash
+is unacceptable.  File-backed stores therefore run sqlite in WAL mode,
+and writes follow a **journaled round protocol**:
+
+* :meth:`begin_round` registers the round as ``in_progress`` and
+  creates its table;
+* :meth:`write_shard` commits one shard of records atomically and
+  idempotently (re-writing a shard that already committed is a no-op,
+  so a resumed process never duplicates rows);
+* :meth:`finalize_round` marks the round ``complete`` (or
+  ``degraded``) and makes it visible to :meth:`rounds`.
+
+A crash between shards leaves a resumable partial round that
+:meth:`open_rounds` surfaces and :meth:`completed_shards` describes;
+:meth:`delete_partial` discards one instead.  The legacy one-shot
+:meth:`write_round` is a thin wrapper over the protocol.
+
+The ``campaign_meta`` key/value table carries campaign-level progress
+(scenario name, completed days, seeds) so ``repro resume`` can pick a
+campaign back up from the database alone.
 """
 
 from __future__ import annotations
@@ -20,7 +43,18 @@ from typing import Iterable, Iterator
 
 from .records import RoundRecord
 
-__all__ = ["RoundInfo", "MeasurementStore"]
+__all__ = [
+    "ROUND_IN_PROGRESS",
+    "ROUND_COMPLETE",
+    "ROUND_DEGRADED",
+    "RoundInfo",
+    "MeasurementStore",
+]
+
+#: ``rounds.round_status`` values of the journaled protocol.
+ROUND_IN_PROGRESS = "in_progress"
+ROUND_COMPLETE = "complete"
+ROUND_DEGRADED = "degraded"
 
 _COLUMNS: tuple[tuple[str, str], ...] = (
     ("ip", "INTEGER NOT NULL"),
@@ -66,10 +100,20 @@ class RoundInfo:
     degraded: bool = False
     #: Classified transport errors observed during the round.
     error_count: int = 0
+    #: Journal state: ``in_progress`` while shards are still being
+    #: written, ``complete``/``degraded`` once finalized.
+    status: str = ROUND_COMPLETE
+    #: Shard size the round was written with (0 = single-shot write);
+    #: a resumed round must reuse it so shard indices line up.
+    shard_size: int = 0
 
     @property
     def table_name(self) -> str:
         return f"round_{self.timestamp:05d}"
+
+    @property
+    def in_progress(self) -> bool:
+        return self.status == ROUND_IN_PROGRESS
 
 
 class MeasurementStore:
@@ -78,6 +122,11 @@ class MeasurementStore:
     def __init__(self, path: str = ":memory:"):
         self._conn = sqlite3.connect(path)
         self._conn.row_factory = sqlite3.Row
+        # WAL keeps committed shards durable across a crash and lets a
+        # reader (e.g. `repro report`) inspect a live campaign; sqlite
+        # silently keeps the "memory" journal for :memory: stores.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS rounds ("
             "  round_id INTEGER PRIMARY KEY,"
@@ -85,15 +134,34 @@ class MeasurementStore:
             "  targets_probed INTEGER NOT NULL,"
             "  responsive_count INTEGER NOT NULL,"
             "  degraded INTEGER NOT NULL DEFAULT 0,"
-            "  error_count INTEGER NOT NULL DEFAULT 0"
+            "  error_count INTEGER NOT NULL DEFAULT 0,"
+            f"  round_status TEXT NOT NULL DEFAULT '{ROUND_COMPLETE}',"
+            "  shard_size INTEGER NOT NULL DEFAULT 0"
+            ")"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS round_shards ("
+            "  round_id INTEGER NOT NULL,"
+            "  shard_index INTEGER NOT NULL,"
+            "  record_count INTEGER NOT NULL,"
+            "  errors INTEGER NOT NULL DEFAULT 0,"
+            "  operations INTEGER NOT NULL DEFAULT 0,"
+            "  PRIMARY KEY (round_id, shard_index)"
+            ")"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS campaign_meta ("
+            "  key TEXT PRIMARY KEY,"
+            "  value TEXT NOT NULL"
             ")"
         )
         self._migrate_rounds_table()
         self._conn.commit()
 
     def _migrate_rounds_table(self) -> None:
-        """Add the resilience columns to databases written before they
-        existed (older files lack ``degraded``/``error_count``)."""
+        """Upgrade databases written before the resilience/journal
+        columns existed (older files lack ``degraded``, ``error_count``
+        and ``round_status``)."""
         existing = {
             row["name"]
             for row in self._conn.execute("PRAGMA table_info(rounds)")
@@ -104,9 +172,157 @@ class MeasurementStore:
                     f"ALTER TABLE rounds ADD COLUMN {name} "
                     "INTEGER NOT NULL DEFAULT 0"
                 )
+        if "round_status" not in existing:
+            self._conn.execute(
+                "ALTER TABLE rounds ADD COLUMN round_status "
+                f"TEXT NOT NULL DEFAULT '{ROUND_COMPLETE}'"
+            )
+            # Pre-journal rounds were only ever written whole, so they
+            # are complete; carry the degraded flag into the status.
+            self._conn.execute(
+                "UPDATE rounds SET round_status = ? WHERE degraded = 1",
+                (ROUND_DEGRADED,),
+            )
+        if "shard_size" not in existing:
+            self._conn.execute(
+                "ALTER TABLE rounds ADD COLUMN shard_size "
+                "INTEGER NOT NULL DEFAULT 0"
+            )
 
     # ------------------------------------------------------------------
-    # writes
+    # journaled writes
+
+    def begin_round(
+        self,
+        round_id: int,
+        timestamp: int,
+        targets_probed: int,
+        *,
+        shard_size: int = 0,
+        fresh: bool = False,
+    ) -> RoundInfo:
+        """Open a round for shard-by-shard writing; returns its info.
+
+        Re-opening a round that is already ``in_progress`` is the
+        resume path: the table, its committed shards, and the
+        originally-journaled *shard_size* are kept (the caller must
+        shard by the returned :attr:`RoundInfo.shard_size` so indices
+        line up).  ``fresh=True`` discards any previous incarnation of
+        the round first (the legacy :meth:`write_round` rewrite
+        semantics).  Raises :class:`ValueError` when *timestamp* is
+        already used by a different round — two rounds sharing a
+        timestamp would share a table name and silently clobber each
+        other.
+        """
+        clash = self._conn.execute(
+            "SELECT round_id FROM rounds WHERE timestamp = ? AND round_id != ?",
+            (timestamp, round_id),
+        ).fetchone()
+        if clash is not None:
+            raise ValueError(
+                f"timestamp {timestamp} already used by round "
+                f"{clash['round_id']}; refusing to clobber its table"
+            )
+        row = self._conn.execute(
+            "SELECT round_status FROM rounds WHERE round_id = ?", (round_id,)
+        ).fetchone()
+        table = f"round_{timestamp:05d}"
+        if row is not None:
+            if fresh:
+                self._conn.execute(f"DROP TABLE IF EXISTS {table}")
+                self._conn.execute(
+                    "DELETE FROM round_shards WHERE round_id = ?", (round_id,)
+                )
+                self._conn.execute(
+                    "DELETE FROM rounds WHERE round_id = ?", (round_id,)
+                )
+            elif row["round_status"] == ROUND_IN_PROGRESS:
+                return self._any_round(round_id)  # resume: keep shards
+            else:
+                raise ValueError(f"round {round_id} is already finalized")
+        columns_sql = ", ".join(f"{name} {sql}" for name, sql in _COLUMNS)
+        self._conn.execute(f"CREATE TABLE IF NOT EXISTS {table} ({columns_sql})")
+        self._conn.execute(
+            "INSERT INTO rounds VALUES (?, ?, ?, 0, 0, 0, ?, ?)",
+            (round_id, timestamp, targets_probed, ROUND_IN_PROGRESS,
+             shard_size),
+        )
+        self._conn.commit()
+        return self._any_round(round_id)
+
+    def write_shard(
+        self,
+        round_id: int,
+        shard_index: int,
+        records: Iterable[RoundRecord],
+        *,
+        errors: int = 0,
+        operations: int = 0,
+    ) -> bool:
+        """Commit one shard of a round atomically.
+
+        Idempotent: a shard index that already committed is skipped
+        (returns False), so a crashed-and-resumed process can blindly
+        replay its shard sequence without duplicating rows.  The rows
+        and the shard journal entry land in one transaction — a crash
+        mid-write rolls the whole shard back.
+        """
+        info = self._open_round(round_id)
+        already = self._conn.execute(
+            "SELECT 1 FROM round_shards WHERE round_id = ? AND shard_index = ?",
+            (round_id, shard_index),
+        ).fetchone()
+        if already is not None:
+            return False
+        rows = list(records)
+        placeholders = ", ".join("?" for _ in _COLUMN_NAMES)
+        self._conn.executemany(
+            f"INSERT INTO {info.table_name} ({', '.join(_COLUMN_NAMES)}) "
+            f"VALUES ({placeholders})",
+            (
+                tuple(record.to_row()[name] for name in _COLUMN_NAMES)
+                for record in rows
+            ),
+        )
+        self._conn.execute(
+            "INSERT INTO round_shards VALUES (?, ?, ?, ?, ?)",
+            (round_id, shard_index, len(rows), errors, operations),
+        )
+        self._conn.commit()
+        return True
+
+    def finalize_round(
+        self,
+        round_id: int,
+        *,
+        degraded: bool = False,
+        error_count: int | None = None,
+    ) -> RoundInfo:
+        """Seal an open round: count its rows, build the IP index, and
+        flip the status to ``complete``/``degraded``.  *error_count*
+        defaults to the sum journaled by :meth:`write_shard`."""
+        info = self._open_round(round_id)
+        if error_count is None:
+            error_count = self.shard_stats(round_id)[0]
+        responsive = self._conn.execute(
+            f"SELECT COUNT(*) FROM {info.table_name}"
+        ).fetchone()[0]
+        table = info.table_name
+        self._conn.execute(
+            f"CREATE INDEX IF NOT EXISTS idx_{table}_ip ON {table} (ip)"
+        )
+        status = ROUND_DEGRADED if degraded else ROUND_COMPLETE
+        self._conn.execute(
+            "UPDATE rounds SET responsive_count = ?, degraded = ?,"
+            " error_count = ?, round_status = ? WHERE round_id = ?",
+            (responsive, int(degraded), error_count, status, round_id),
+        )
+        self._conn.commit()
+        return RoundInfo(
+            round_id, info.timestamp, info.targets_probed, responsive,
+            degraded=degraded, error_count=error_count, status=status,
+            shard_size=info.shard_size,
+        )
 
     def write_round(
         self,
@@ -118,41 +334,102 @@ class MeasurementStore:
         degraded: bool = False,
         error_count: int = 0,
     ) -> RoundInfo:
-        """Persist one complete round into its own table."""
-        info_rows = list(records)
-        table = f"round_{timestamp:05d}"
-        columns_sql = ", ".join(f"{name} {sql}" for name, sql in _COLUMNS)
-        self._conn.execute(f"DROP TABLE IF EXISTS {table}")
-        self._conn.execute(f"CREATE TABLE {table} ({columns_sql})")
-        placeholders = ", ".join("?" for _ in _COLUMN_NAMES)
-        self._conn.executemany(
-            f"INSERT INTO {table} ({', '.join(_COLUMN_NAMES)}) "
-            f"VALUES ({placeholders})",
-            (
-                tuple(record.to_row()[name] for name in _COLUMN_NAMES)
-                for record in info_rows
-            ),
+        """Persist one complete round in a single shard (legacy API).
+
+        Rewriting the *same* round_id replaces the round; reusing a
+        timestamp under a *different* round_id raises ValueError (the
+        two rounds would silently drop each other's table otherwise).
+        """
+        self.begin_round(round_id, timestamp, targets_probed, fresh=True)
+        self.write_shard(round_id, 0, records, errors=error_count)
+        return self.finalize_round(
+            round_id, degraded=degraded, error_count=error_count
         )
-        self._conn.execute(f"CREATE INDEX idx_{table}_ip ON {table} (ip)")
+
+    # ------------------------------------------------------------------
+    # recovery
+
+    def open_rounds(self) -> list[RoundInfo]:
+        """Rounds a crash (or abort) left ``in_progress``, in
+        chronological order — the resume entry point."""
+        cursor = self._conn.execute(
+            f"SELECT {self._ROUND_COLUMNS} FROM rounds "
+            "WHERE round_status = ? ORDER BY timestamp, round_id",
+            (ROUND_IN_PROGRESS,),
+        )
+        return [self._round_info(row) for row in cursor.fetchall()]
+
+    def completed_shards(self, round_id: int) -> set[int]:
+        """Shard indices that already committed for *round_id*."""
+        cursor = self._conn.execute(
+            "SELECT shard_index FROM round_shards WHERE round_id = ?",
+            (round_id,),
+        )
+        return {row[0] for row in cursor.fetchall()}
+
+    def shard_stats(self, round_id: int) -> tuple[int, int]:
+        """Summed (errors, operations) journaled across the round's
+        committed shards — survives a crash, unlike process counters."""
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(errors), 0), COALESCE(SUM(operations), 0) "
+            "FROM round_shards WHERE round_id = ?",
+            (round_id,),
+        ).fetchone()
+        return int(row[0]), int(row[1])
+
+    def delete_partial(self, round_id: int) -> None:
+        """Discard an ``in_progress`` round entirely (table, journal,
+        metadata).  Finalized rounds are protected: ValueError."""
+        info = self._any_round(round_id)
+        if info.status != ROUND_IN_PROGRESS:
+            raise ValueError(
+                f"round {round_id} is {info.status}, not a partial round"
+            )
+        self._conn.execute(f"DROP TABLE IF EXISTS {info.table_name}")
         self._conn.execute(
-            "INSERT OR REPLACE INTO rounds VALUES (?, ?, ?, ?, ?, ?)",
-            (
-                round_id, timestamp, targets_probed, len(info_rows),
-                int(degraded), error_count,
-            ),
+            "DELETE FROM round_shards WHERE round_id = ?", (round_id,)
+        )
+        self._conn.execute(
+            "DELETE FROM rounds WHERE round_id = ?", (round_id,)
         )
         self._conn.commit()
-        return RoundInfo(
-            round_id, timestamp, targets_probed, len(info_rows),
-            degraded=degraded, error_count=error_count,
+
+    def max_round_id(self) -> int:
+        """Highest round_id ever assigned (0 for an empty store),
+        including open rounds — the durable round-ID watermark."""
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(round_id), 0) FROM rounds"
+        ).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------
+    # campaign metadata
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Persist one campaign-level key/value pair (upsert)."""
+        self._conn.execute(
+            "INSERT INTO campaign_meta VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
         )
+        self._conn.commit()
+
+    def get_meta(self, key: str, default: str | None = None) -> str | None:
+        row = self._conn.execute(
+            "SELECT value FROM campaign_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else row["value"]
+
+    def meta(self) -> dict[str, str]:
+        cursor = self._conn.execute("SELECT key, value FROM campaign_meta")
+        return {row["key"]: row["value"] for row in cursor.fetchall()}
 
     # ------------------------------------------------------------------
     # reads
 
     _ROUND_COLUMNS = (
         "round_id, timestamp, targets_probed, responsive_count, "
-        "degraded, error_count"
+        "degraded, error_count, round_status, shard_size"
     )
 
     @staticmethod
@@ -161,18 +438,28 @@ class MeasurementStore:
             row["round_id"], row["timestamp"], row["targets_probed"],
             row["responsive_count"],
             degraded=bool(row["degraded"]), error_count=row["error_count"],
+            status=row["round_status"], shard_size=row["shard_size"],
         )
 
     def rounds(self) -> list[RoundInfo]:
-        """All rounds in chronological order (round_id breaks timestamp
-        ties so the ordering is stable)."""
+        """All *finalized* rounds in chronological order (round_id
+        breaks timestamp ties so the ordering is stable); partial
+        rounds are visible through :meth:`open_rounds` instead, so
+        analyses never see a half-written round."""
         cursor = self._conn.execute(
             f"SELECT {self._ROUND_COLUMNS} FROM rounds "
-            "ORDER BY timestamp, round_id"
+            "WHERE round_status != ? ORDER BY timestamp, round_id",
+            (ROUND_IN_PROGRESS,),
         )
         return [self._round_info(row) for row in cursor.fetchall()]
 
     def round_info(self, round_id: int) -> RoundInfo:
+        info = self._any_round(round_id)
+        if info.status == ROUND_IN_PROGRESS:
+            raise KeyError(f"round {round_id} is still in progress")
+        return info
+
+    def _any_round(self, round_id: int) -> RoundInfo:
         cursor = self._conn.execute(
             f"SELECT {self._ROUND_COLUMNS} FROM rounds WHERE round_id = ?",
             (round_id,),
@@ -181,6 +468,31 @@ class MeasurementStore:
         if row is None:
             raise KeyError(f"no such round: {round_id}")
         return self._round_info(row)
+
+    def _open_round(self, round_id: int) -> RoundInfo:
+        info = self._any_round(round_id)
+        if info.status != ROUND_IN_PROGRESS:
+            raise ValueError(f"round {round_id} is not open for writing")
+        return info
+
+    def round_stats(self, round_id: int) -> dict[str, int]:
+        """Aggregate row counts for one round (any status): responsive
+        rows, *available* rows (HTTP response received), and rows where
+        a fetch was attempted."""
+        info = self._any_round(round_id)
+        row = self._conn.execute(
+            "SELECT COUNT(*),"
+            " COALESCE(SUM(CASE WHEN fetch_status = 'ok'"
+            "   AND status_code IS NOT NULL THEN 1 ELSE 0 END), 0),"
+            " COALESCE(SUM(CASE WHEN fetch_status != 'not-attempted'"
+            "   THEN 1 ELSE 0 END), 0) "
+            f"FROM {info.table_name}"
+        ).fetchone()
+        return {
+            "responsive": int(row[0]),
+            "available": int(row[1]),
+            "fetched": int(row[2]),
+        }
 
     def records(self, round_id: int) -> Iterator[RoundRecord]:
         """All records of one round."""

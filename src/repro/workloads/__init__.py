@@ -1,6 +1,11 @@
 """Scenario builders and the measurement-campaign driver."""
 
-from .campaign import Campaign, CampaignResult, simulation_config
+from .campaign import (
+    Campaign,
+    CampaignInterrupted,
+    CampaignResult,
+    simulation_config,
+)
 from .scenario import (
     Scenario,
     azure_scenario,
@@ -11,6 +16,7 @@ from .scenario import (
 
 __all__ = [
     "Campaign",
+    "CampaignInterrupted",
     "CampaignResult",
     "simulation_config",
     "Scenario",

@@ -3,20 +3,50 @@
 Replays §6's methodology — advance the simulated cloud day by day,
 running one complete WhoWas round (probe → fetch → features → store) on
 each scheduled scan day — and hands back everything the analyses need.
+
+Campaign progress is persisted in the store's ``campaign_meta`` table
+(scenario name, RNG seed, scan calendar, completed days), and each
+round checkpoints shard by shard, so a campaign killed mid-round is
+resumable: :meth:`Campaign.resume` (or ``repro resume <db>``) rebuilds
+the scenario, skips the days already recorded, finishes any partial
+round the crash left ``in_progress``, and continues the calendar.  The
+simulated cloud is a pure function of its seed and the day reached, so
+a resumed campaign produces record-for-record the same database an
+uninterrupted run would have.
 """
 
 from __future__ import annotations
 
+import asyncio
+import json
 from dataclasses import dataclass, field
 
 from ..analysis.clustering import ClusteringResult, WebpageClusterer
 from ..analysis.dataset import Dataset
 from ..core.config import FetchConfig, PlatformConfig, ScanConfig
-from ..core.platform import RoundSummary, WhoWas
+from ..core.platform import RoundInterrupted, RoundSummary, WhoWas
 from ..core.store import MeasurementStore
 from .scenario import Scenario
 
-__all__ = ["simulation_config", "CampaignResult", "Campaign"]
+__all__ = [
+    "simulation_config",
+    "CampaignResult",
+    "CampaignInterrupted",
+    "Campaign",
+]
+
+
+class CampaignInterrupted(Exception):
+    """A campaign stopped cooperatively; everything up to (and the
+    committed shards of) *day* is checkpointed in the store."""
+
+    def __init__(self, scenario_name: str, day: int, round_id: int):
+        self.scenario_name = scenario_name
+        self.day = day
+        self.round_id = round_id
+        super().__init__(
+            f"campaign {scenario_name!r} interrupted; resumable at day {day}"
+        )
 
 
 def simulation_config(blacklist: frozenset[int] = frozenset()) -> PlatformConfig:
@@ -77,17 +107,62 @@ class Campaign:
             scenario.transport, self.store, config or simulation_config()
         )
 
+    # ------------------------------------------------------------------
+    # progress metadata
+
+    def _completed_days(self) -> list[int]:
+        raw = self.store.get_meta("completed_days")
+        return json.loads(raw) if raw else []
+
+    def _write_progress(self, days: list[int], completed: list[int]) -> None:
+        self.store.set_meta("scenario", self.scenario.name)
+        self.store.set_meta("seed", str(self.scenario.seed))
+        self.store.set_meta("scan_days", json.dumps(days))
+        self.store.set_meta("completed_days", json.dumps(completed))
+
+    # ------------------------------------------------------------------
+
     def run(self, scan_days: list[int] | None = None,
-            progress: bool = False) -> CampaignResult:
-        """Advance the cloud through its calendar, scanning on schedule."""
+            progress: bool = False,
+            abort_event: asyncio.Event | None = None) -> CampaignResult:
+        """Advance the cloud through its calendar, scanning on schedule.
+
+        Days already recorded as completed in ``campaign_meta`` are
+        skipped and a partial round left by a previous crash or abort
+        is finished shard by shard, so calling :meth:`run` on a
+        half-finished store *is* the resume path.  When *abort_event*
+        is set, the current shard checkpoints and the campaign raises
+        :class:`CampaignInterrupted` with the resumable day.
+        """
         scenario = self.scenario
         days = scan_days if scan_days is not None else scenario.scan_days
         targets = scenario.targets
+        completed = self._completed_days()
+        self._write_progress(days, completed)
+        partial = {
+            info.timestamp: info.round_id for info in self.store.open_rounds()
+        }
         summaries: list[RoundSummary] = []
         for day in days:
+            if day in completed:
+                continue
+            if abort_event is not None and abort_event.is_set():
+                raise CampaignInterrupted(scenario.name, day, -1)
             scenario.simulation.advance_to(day)
-            summary = self.platform.run_round(targets, timestamp=day)
+            try:
+                summary = self.platform.run_round(
+                    targets, timestamp=day,
+                    abort_event=abort_event,
+                    resume_round_id=partial.get(day),
+                )
+            except RoundInterrupted as exc:
+                self._write_progress(days, completed)
+                raise CampaignInterrupted(
+                    scenario.name, day, exc.round_id
+                ) from exc
             summaries.append(summary)
+            completed.append(day)
+            self.store.set_meta("completed_days", json.dumps(completed))
             if progress:
                 print(
                     f"[{scenario.name}] day {day:3d}: "
@@ -95,3 +170,21 @@ class Campaign:
                     f"available={summary.available}"
                 )
         return CampaignResult(scenario, self.store, summaries)
+
+    def resume(self, progress: bool = False,
+               abort_event: asyncio.Event | None = None) -> CampaignResult:
+        """Continue an interrupted campaign from its own metadata.
+
+        Reads the scan calendar persisted by a previous :meth:`run` and
+        re-enters it; the caller must construct the Campaign with a
+        scenario rebuilt from the same parameters (name, seed, size)."""
+        raw = self.store.get_meta("scan_days")
+        if raw is None:
+            raise ValueError(
+                "store has no campaign metadata; nothing to resume"
+            )
+        return self.run(
+            scan_days=json.loads(raw),
+            progress=progress,
+            abort_event=abort_event,
+        )

@@ -85,6 +85,9 @@ class Scenario:
     dns: CloudDns
     workload: WorkloadSpec
     scan_days: list[int]
+    #: RNG seed the scenario was built from; persisted in campaign
+    #: metadata so `repro resume` can rebuild the identical cloud.
+    seed: int = 0
 
     @property
     def targets(self) -> list[int]:
@@ -179,6 +182,7 @@ def ec2_scenario(
         dns=CloudDns(topology, simulation),
         workload=workload,
         scan_days=calendar,
+        seed=seed,
     )
 
 
@@ -254,6 +258,7 @@ def azure_scenario(
         dns=CloudDns(topology, simulation),
         workload=workload,
         scan_days=calendar,
+        seed=seed,
     )
 
 
