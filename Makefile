@@ -11,9 +11,10 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # Full fault-injection matrix: seeded storms, per-kind pure storms,
-# total blackout. A later -m overrides the pyproject default.
+# total blackout, hostile-content storms. A later -m overrides the
+# pyproject default; CI passes PYTEST_ARGS="--timeout=300".
 chaos:
-	$(PYTHON) -m pytest -q -m chaos
+	$(PYTHON) -m pytest -q -m chaos $(PYTEST_ARGS)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

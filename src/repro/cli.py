@@ -98,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "fraction of requests (0 disables)")
     simulate.add_argument("--chaos-seed", type=int, default=0,
                           help="seed for the fault plan (with --chaos-rate)")
+    simulate.add_argument("--chaos-hostile", action="store_true",
+                          help="also serve hostile content (header bombs, "
+                               "markup bombs, encoding garbage) at the "
+                               "chaos rate")
 
     resume = commands.add_parser(
         "resume", help="continue an interrupted simulate campaign"
@@ -133,6 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate.add_argument("db")
     aggregate.add_argument("--cloud", default="unknown")
 
+    quarantine = commands.add_parser(
+        "quarantine",
+        help="inspect or replay the dead-letter quarantine of a database",
+    )
+    quarantine.add_argument("action", choices=("list", "replay"),
+                            help="list entries, or re-extract features "
+                                 "for quarantined pages")
+    quarantine.add_argument("db")
+    quarantine.add_argument("--round", type=int, default=None,
+                            help="restrict to one round id")
+    quarantine.add_argument("--all", action="store_true",
+                            help="include already-replayed entries")
+
     return parser
 
 
@@ -145,6 +162,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "lookup": _cmd_lookup,
         "aggregate": _cmd_aggregate,
+        "quarantine": _cmd_quarantine,
     }[args.command]
     return handler(args)
 
@@ -160,12 +178,15 @@ def _build_sim_scenario(params: dict):
     scenario = builder(**kwargs)
     chaos_rate = params.get("chaos_rate", 0.0)
     if chaos_rate > 0:
-        from .core import FaultyTransport, chaos_plan
+        from .core import FaultyTransport, chaos_plan, hostile_plan
 
-        plan = chaos_plan(params.get("chaos_seed", 0), rate=chaos_rate)
+        seed = params.get("chaos_seed", 0)
+        plan = chaos_plan(seed, rate=chaos_rate)
+        if params.get("chaos_hostile"):
+            plan = hostile_plan(seed, rate=chaos_rate)
         scenario.transport = FaultyTransport(scenario.transport, plan)
         print(f"chaos: injecting {len(plan.rules)} fault kinds at "
-              f"rate {chaos_rate} (seed {params.get('chaos_seed', 0)})")
+              f"rate {chaos_rate} (seed {seed})")
     return scenario
 
 
@@ -181,7 +202,7 @@ def _cmd_simulate(args) -> int:
     params = {
         "cloud": args.cloud, "ips": args.ips, "seed": args.seed,
         "days": args.days, "chaos_rate": args.chaos_rate,
-        "chaos_seed": args.chaos_seed,
+        "chaos_seed": args.chaos_seed, "chaos_hostile": args.chaos_hostile,
     }
     scenario = _build_sim_scenario(params)
     print(f"simulating {scenario.name}: {len(scenario.targets)} IPs, "
@@ -337,6 +358,56 @@ def _cmd_aggregate(args) -> int:
     report.assert_private()
     print(report.to_json())
     return 0
+
+
+def _cmd_quarantine(args) -> int:
+    from .core import FeatureExtractor
+    from .cloudsim.addressing import int_to_ip
+
+    store = MeasurementStore(args.db)
+    entries = store.quarantine_rows(
+        args.round, include_replayed=(args.all or args.action == "list")
+    )
+    if args.action == "list":
+        if not entries:
+            print("quarantine is empty")
+            return 0
+        for entry in entries:
+            flag = "replayed" if entry.replayed else "pending"
+            detail = entry.error_class or ""
+            print(f"#{entry.entry_id:<5} round {entry.round_id:<4} "
+                  f"ip {int_to_ip(entry.ip):<15} {entry.stage:<7} "
+                  f"{entry.verdict:<14} {flag:<8} {detail}")
+        print(f"{len(entries)} entries")
+        return 0
+
+    # replay: re-extract features for quarantined pages from the stored
+    # bodies.  Fetch-stage entries have no page to re-process offline.
+    extractor = FeatureExtractor()
+    replayed = failed = skipped = 0
+    for entry in entries:
+        if entry.stage != "extract":
+            skipped += 1
+            continue
+        record = store.record(entry.round_id, entry.ip)
+        if record is None or record.fetch.body is None:
+            skipped += 1
+            continue
+        try:
+            features = extractor.extract(record.fetch)
+        except Exception as exc:
+            failed += 1
+            print(f"#{entry.entry_id} ip {int_to_ip(entry.ip)}: extractor "
+                  f"still fails ({type(exc).__name__}: {exc})",
+                  file=sys.stderr)
+            continue
+        store.update_features(entry.round_id, entry.ip, features)
+        if entry.entry_id is not None:
+            store.mark_quarantine_replayed(entry.entry_id)
+        replayed += 1
+    print(f"replayed {replayed} entries "
+          f"({failed} still failing, {skipped} skipped)")
+    return 0 if failed == 0 else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

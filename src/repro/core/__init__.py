@@ -5,11 +5,25 @@ cloud IP ranges, fetches top-level pages, extracts content features and
 persists per-round records behind a programmatic lookup API.
 """
 
-from .config import FetchConfig, PlatformConfig, ScanConfig
+from .config import FetchConfig, GuardConfig, PlatformConfig, ScanConfig
 from .crawler import Crawler, CrawlResult
-from .faults import FaultKind, FaultPlan, FaultRule, FaultyTransport, chaos_plan
+from .faults import (
+    HOSTILE_CONTENT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    FaultyTransport,
+    chaos_plan,
+    hostile_plan,
+)
 from .features import FeatureExtractor, extract_internal_links, extract_links
-from .fetcher import Fetcher, parse_robots
+from .fetcher import Fetcher, decode_body, parse_robots
+from .guard import (
+    AimdController,
+    GuardVerdict,
+    StageDeadlineExceeded,
+    Supervisor,
+)
 from .platform import RoundInterrupted, RoundSummary, WhoWas
 from .records import (
     UNKNOWN,
@@ -19,6 +33,7 @@ from .records import (
     Port,
     ProbeOutcome,
     ProbeStatus,
+    QuarantineRecord,
     RoundRecord,
 )
 from .scanner import RateLimiter, Scanner, SubnetCircuitBreaker
@@ -39,6 +54,7 @@ from .transport import (
 
 __all__ = [
     "FetchConfig",
+    "GuardConfig",
     "PlatformConfig",
     "ScanConfig",
     "Crawler",
@@ -48,11 +64,18 @@ __all__ = [
     "FaultRule",
     "FaultyTransport",
     "chaos_plan",
+    "hostile_plan",
+    "HOSTILE_CONTENT_KINDS",
     "FeatureExtractor",
     "extract_internal_links",
     "extract_links",
     "Fetcher",
+    "decode_body",
     "parse_robots",
+    "AimdController",
+    "GuardVerdict",
+    "StageDeadlineExceeded",
+    "Supervisor",
     "RoundInterrupted",
     "RoundSummary",
     "WhoWas",
@@ -63,6 +86,7 @@ __all__ = [
     "Port",
     "ProbeOutcome",
     "ProbeStatus",
+    "QuarantineRecord",
     "RoundRecord",
     "RateLimiter",
     "Scanner",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ScanConfig", "FetchConfig", "PlatformConfig"]
+__all__ = ["ScanConfig", "FetchConfig", "GuardConfig", "PlatformConfig"]
 
 
 @dataclass(frozen=True)
@@ -115,11 +115,84 @@ class FetchConfig:
 
 
 @dataclass(frozen=True)
+class GuardConfig:
+    """Supervision-layer parameters (:mod:`repro.core.guard`).
+
+    The wild web serves adversarial inputs — header bombs, unterminated
+    HTML, encoding garbage, megabyte titles — and a single poison page
+    must never hang or crash a round.  These knobs bound how long any
+    per-IP unit of work may run, how the fetch pool backs off under
+    error storms, and which content shapes get quarantined.
+    """
+
+    #: Wall-clock ceiling in seconds for one IP's whole fetch task
+    #: (robots.txt + page GET + retries).  A task that blows it is
+    #: cancelled, recorded as a ``stage-deadline`` fetch error, and
+    #: quarantined.  0 disables the deadline.
+    fetch_deadline: float = 30.0
+    #: Wall-clock ceiling in seconds for extracting one page's features.
+    #: 0 disables the deadline (extraction then runs inline, guarded
+    #: against exceptions only).
+    extract_deadline: float = 10.0
+    #: Bodies at most this large with a clean guard verdict are
+    #: extracted inline (fast path); larger or suspect bodies run in a
+    #: worker thread under the extract deadline.
+    extract_inline_max_bytes: int = 64 * 1024
+    #: AIMD backpressure: rolling window of recent fetch outcomes
+    #: evaluated between concurrency adjustments.
+    aimd_window: int = 64
+    #: When the windowed timeout/error fraction exceeds this, the fetch
+    #: concurrency limit is halved (multiplicative decrease); while it
+    #: stays at or below, the limit recovers by ``aimd_increase_step``
+    #: per window (additive increase).  1.0 disables the controller.
+    aimd_error_threshold: float = 0.5
+    #: Concurrency never drops below this floor.
+    aimd_min_concurrency: int = 8
+    #: Additive recovery step per clean window.
+    aimd_increase_step: int = 1
+    #: Responses with more headers than this are quarantined as header
+    #: bombs.
+    max_response_headers: int = 256
+    #: ``<title>`` content longer than this (bytes of text, terminated
+    #: or not) is quarantined as a title bomb.
+    max_title_bytes: int = 100_000
+    #: Bodies with more NUL bytes than this are quarantined as binary
+    #: garbage.
+    max_null_bytes: int = 64
+    #: Bodies with more unclosed element tags than this are quarantined
+    #: as markup bombs (deeply-nested / unterminated HTML).
+    max_unclosed_tags: int = 5_000
+    #: How much of the offending body is preserved in the quarantine
+    #: record for post-mortem.
+    quarantine_payload_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if self.fetch_deadline < 0 or self.extract_deadline < 0:
+            raise ValueError("deadlines must be non-negative")
+        if self.extract_inline_max_bytes < 0:
+            raise ValueError("extract_inline_max_bytes must be non-negative")
+        if self.aimd_window <= 0:
+            raise ValueError("aimd_window must be positive")
+        if not 0.0 < self.aimd_error_threshold <= 1.0:
+            raise ValueError("aimd_error_threshold must be in (0, 1]")
+        if self.aimd_min_concurrency <= 0:
+            raise ValueError("aimd_min_concurrency must be positive")
+        if self.aimd_increase_step <= 0:
+            raise ValueError("aimd_increase_step must be positive")
+        for name in ("max_response_headers", "max_title_bytes",
+                     "max_null_bytes", "max_unclosed_tags",
+                     "quarantine_payload_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
 class PlatformConfig:
     """Top-level WhoWas configuration."""
 
     scan: ScanConfig = field(default_factory=ScanConfig)
     fetch: FetchConfig = field(default_factory=FetchConfig)
+    guard: GuardConfig = field(default_factory=GuardConfig)
     #: IPs that must never be probed (tenant opt-outs; §4, §7).
     blacklist: frozenset[int] = frozenset()
     #: Also read the SSH banner from IPs with port 22 open (one extra

@@ -32,7 +32,15 @@ from .transport import (
     Transport,
 )
 
-__all__ = ["FaultKind", "FaultRule", "FaultPlan", "FaultyTransport", "chaos_plan"]
+__all__ = [
+    "FaultKind",
+    "FaultRule",
+    "FaultPlan",
+    "FaultyTransport",
+    "chaos_plan",
+    "hostile_plan",
+    "HOSTILE_CONTENT_KINDS",
+]
 
 
 class FaultKind(enum.Enum):
@@ -59,6 +67,16 @@ class FaultKind(enum.Enum):
     GARBAGE_HEADERS = "garbage-headers"
     #: The service is up but melting down: every request returns 503.
     STATUS_STORM = "5xx-storm"
+    # -- hostile content: the request *succeeds* but the page is a trap
+    #    aimed at the pipeline stages behind the transport.
+    #: Hundreds of junk response headers (header-string feature bomb).
+    HEADER_BOMB = "header-bomb"
+    #: Deeply nested, unterminated markup (parser/regex bomb).
+    MARKUP_BOMB = "markup-bomb"
+    #: Null bytes and multi-encoding garbage posing as text/html.
+    ENCODING_GARBAGE = "encoding-garbage"
+    #: A ``<title>`` megabytes long and never closed.
+    TITLE_BOMB = "title-bomb"
 
 
 #: Kinds that affect the TCP handshake and therefore probes/banners too.
@@ -68,6 +86,21 @@ _CONNECTION_KINDS = frozenset({
     FaultKind.RESET,
     FaultKind.SLOW_RESPONSE,
 })
+
+#: Hostile-content kinds, in enum-definition order.  Plans are built
+#: from this tuple, not the frozenset below: iterating a frozenset of
+#: enum members is not order-deterministic across processes, and rule
+#: order feeds the seeded draw.
+_HOSTILE_KINDS_ORDERED = (
+    FaultKind.HEADER_BOMB,
+    FaultKind.MARKUP_BOMB,
+    FaultKind.ENCODING_GARBAGE,
+    FaultKind.TITLE_BOMB,
+)
+
+#: Kinds that deliver a well-formed 200 response with a booby-trapped
+#: payload; they target the extractor rather than the transport.
+HOSTILE_CONTENT_KINDS = frozenset(_HOSTILE_KINDS_ORDERED)
 
 
 @dataclass(frozen=True)
@@ -147,11 +180,16 @@ class FaultPlan:
         return random.Random(key).random()
 
 
+_NETWORK_KINDS_ORDERED = tuple(
+    kind for kind in FaultKind if kind not in HOSTILE_CONTENT_KINDS
+)
+
+
 def chaos_plan(
     seed: int = 0,
     *,
     rate: float = 0.2,
-    kinds: Iterable[FaultKind] = tuple(FaultKind),
+    kinds: Iterable[FaultKind] = _NETWORK_KINDS_ORDERED,
     ips: Iterable[int] | None = None,
     ports: Iterable[int] | None = None,
     rounds: Iterable[int] | None = None,
@@ -169,6 +207,57 @@ def chaos_plan(
         for kind in kinds
     )
     return FaultPlan(seed=seed, rules=rules)
+
+
+def hostile_plan(
+    seed: int = 0,
+    *,
+    rate: float = 0.1,
+    ips: Iterable[int] | None = None,
+    rounds: Iterable[int] | None = None,
+) -> FaultPlan:
+    """A plan that poisons *rate* of GETs with hostile content (header
+    bombs, markup bombs, encoding garbage, megabyte titles) and leaves
+    the transport layer otherwise healthy — the acceptance storm for
+    the supervision layer's quarantine."""
+    scope = {
+        "ips": frozenset(ips) if ips is not None else None,
+        "rounds": frozenset(rounds) if rounds is not None else None,
+    }
+    rules = tuple(
+        FaultRule(kind=kind, probability=rate, **scope)
+        for kind in _HOSTILE_KINDS_ORDERED
+    )
+    return FaultPlan(seed=seed, rules=rules)
+
+
+def _hostile_response(kind: FaultKind, max_body: int) -> HttpResponse:
+    """Build the booby-trapped 200 response for one hostile kind."""
+    headers = {"Content-Type": "text/html"}
+    if kind is FaultKind.HEADER_BOMB:
+        headers.update(
+            (f"X-Trap-{n:04d}", "x" * 64) for n in range(512)
+        )
+        body = b"<html><title>ok</title></html>"
+    elif kind is FaultKind.MARKUP_BOMB:
+        body = (
+            "<html>" + "<div class='d'>" * 20_000 + "<p unterminated"
+        ).encode("ascii")
+    elif kind is FaultKind.ENCODING_GARBAGE:
+        headers["Content-Type"] = "text/html; charset=utf-8"
+        # NULs survive errors="replace" decoding; the invalid UTF-8 and
+        # latin-1 runs exercise the replacement path.
+        body = (
+            b"\x00" * 400
+            + "café-�-".encode("latin-1", "replace")
+            + b"\xff\xfe\xc3\x28" * 50
+            + b"<html><title>garbage</title></html>"
+        )
+    else:  # TITLE_BOMB
+        body = b"<html><title>" + b"A" * 1_048_576
+    body = body[:max_body]
+    headers["Content-Length"] = str(len(body))
+    return HttpResponse(200, headers, body)
 
 
 class FaultyTransport:
@@ -192,6 +281,11 @@ class FaultyTransport:
         #: Probe calls per (round, ip) — lets tests assert the
         #: once-per-round probe budget survives fault storms.
         self.probe_calls: Counter[tuple[int, int]] = Counter()
+        #: Every hostile-content payload served, as (round_id, ip, path,
+        #: kind) — lets tests assert each poisoned page fetch landed in
+        #: the quarantine (filter on ``path == "/"``; robots.txt GETs
+        #: can be poisoned too, but those never reach the extractor).
+        self.hostile_hits: list[tuple[int, int, str, FaultKind]] = []
         self._attempts: Counter[tuple[str, int, int, int]] = Counter()
 
     # ------------------------------------------------------------------
@@ -248,6 +342,9 @@ class FaultyTransport:
                 ip, scheme, path,
                 timeout=timeout, max_body=max_body, headers=headers,
             )
+        if rule.kind in HOSTILE_CONTENT_KINDS:
+            self.hostile_hits.append((self.round_id, ip, path, rule.kind))
+            return _hostile_response(rule.kind, max_body)
         if rule.kind is FaultKind.TRUNCATED_BODY:
             raise BodyTruncated(
                 f"body truncated fetching {scheme}://{ip}{path}"

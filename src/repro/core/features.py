@@ -19,8 +19,10 @@ Missing entries are recorded as ``"unknown"``.
 
 from __future__ import annotations
 
+import hashlib
 import re
-from typing import Mapping
+from collections import OrderedDict
+from typing import Iterator, Mapping
 
 from .records import UNKNOWN, FetchResult, PageFeatures
 from .simhash import simhash as compute_simhash
@@ -30,11 +32,46 @@ __all__ = ["FeatureExtractor", "extract_links", "extract_internal_links",
 
 _TITLE_RE = re.compile(r"<title[^>]*>(.*?)</title>", re.IGNORECASE | re.DOTALL)
 
-_META_RE = re.compile(
-    r"<meta\s+[^>]*name=[\"'](?P<name>description|keywords|generator)[\"']"
-    r"[^>]*content=[\"'](?P<content>[^\"']*)[\"']",
+# Meta tags are matched in two steps — find the tag, then pull the name
+# and content attributes independently — because real-world pages write
+# the attributes in either order (`content=` before `name=` is common)
+# and a single ordered regex silently drops those.
+_META_TAG_RE = re.compile(r"<meta\s[^>]*>", re.IGNORECASE)
+_META_NAME_RE = re.compile(
+    r"""\bname\s*=\s*(?:"(?P<dq>[^"]*)"|'(?P<sq>[^']*)'|(?P<bare>[^\s"'>]+))""",
     re.IGNORECASE,
 )
+_META_CONTENT_RE = re.compile(
+    r"""\bcontent\s*=\s*(?:"(?P<dq>[^"]*)"|'(?P<sq>[^']*)'|(?P<bare>[^\s"'>]+))""",
+    re.IGNORECASE,
+)
+
+_META_NAMES = ("description", "keywords", "generator")
+
+
+def _attr_value(match: re.Match) -> str:
+    for group in ("dq", "sq", "bare"):
+        value = match.group(group)
+        if value is not None:
+            return value
+    return ""  # pragma: no cover — one alternative always matched
+
+
+def _iter_meta(body: str) -> Iterator[tuple[str, str]]:
+    """Yield (name, content) for every interesting ``<meta>`` tag,
+    regardless of attribute order or quoting style."""
+    for tag in _META_TAG_RE.finditer(body):
+        text = tag.group(0)
+        name_match = _META_NAME_RE.search(text)
+        if name_match is None:
+            continue
+        name = _attr_value(name_match).lower()
+        if name not in _META_NAMES:
+            continue
+        content_match = _META_CONTENT_RE.search(text)
+        if content_match is None:
+            continue
+        yield name, _attr_value(content_match)
 
 #: Google Analytics account IDs: UA-<account>-<profile> (§8.3).
 GA_ID_RE = re.compile(r"\bUA-(\d{4,10})-(\d{1,4})\b")
@@ -94,12 +131,18 @@ class FeatureExtractor:
 
     Simhash computation dominates extraction cost, so fingerprints are
     memoised by body identity — rounds overwhelmingly refetch unchanged
-    pages (the paper's churn is ~3% per round).
+    pages (the paper's churn is ~3% per round).  The memo is a bounded
+    LRU keyed by a real content digest: a 51-round campaign must not
+    leak memory, and Python's ``hash()`` collides too easily to key a
+    correctness-critical cache.
     """
 
-    def __init__(self, *, memoize: bool = True):
+    def __init__(self, *, memoize: bool = True, max_cache_entries: int = 4096):
+        if max_cache_entries <= 0:
+            raise ValueError("max_cache_entries must be positive")
         self._memoize = memoize
-        self._simhash_cache: dict[int, int] = {}
+        self._max_cache_entries = max_cache_entries
+        self._simhash_cache: OrderedDict[bytes, int] = OrderedDict()
 
     def extract(self, fetch: FetchResult) -> PageFeatures:
         """Features for one fetch; empty/non-text bodies yield defaults."""
@@ -114,9 +157,8 @@ class FeatureExtractor:
             match = _TITLE_RE.search(body)
             if match:
                 title = _clean(match.group(1)) or UNKNOWN
-            for meta in _META_RE.finditer(body):
-                name = meta.group("name").lower()
-                content = _clean(meta.group("content"))
+            for name, raw_content in _iter_meta(body):
+                content = _clean(raw_content)
                 if not content:
                     continue
                 if name == "description":
@@ -146,12 +188,20 @@ class FeatureExtractor:
             return 0
         if not self._memoize:
             return compute_simhash(body)
-        key = hash(body)
+        # surrogatepass keeps the digest total over any str, including
+        # lone surrogates hostile bodies can smuggle through decoding.
+        key = hashlib.blake2b(
+            body.encode("utf-8", "surrogatepass"), digest_size=16
+        ).digest()
         cached = self._simhash_cache.get(key)
-        if cached is None:
-            cached = compute_simhash(body)
-            self._simhash_cache[key] = cached
-        return cached
+        if cached is not None:
+            self._simhash_cache.move_to_end(key)
+            return cached
+        value = compute_simhash(body)
+        self._simhash_cache[key] = value
+        if len(self._simhash_cache) > self._max_cache_entries:
+            self._simhash_cache.popitem(last=False)
+        return value
 
     @staticmethod
     def _header(headers: Mapping[str, str], name: str) -> str:

@@ -17,10 +17,11 @@ import random
 from typing import Sequence
 
 from .config import FetchConfig
+from .guard import GuardVerdict, StageDeadlineExceeded, Supervisor
 from .records import FetchResult, FetchStatus, ProbeOutcome
 from .transport import HttpResponse, Transport, TransportError, classify_error
 
-__all__ = ["parse_robots", "Fetcher"]
+__all__ = ["parse_robots", "decode_body", "Fetcher"]
 
 
 def parse_robots(body: str, user_agent: str = "*") -> bool:
@@ -57,12 +58,53 @@ def parse_robots(body: str, user_agent: str = "*") -> bool:
     return True
 
 
-class Fetcher:
-    """Worker pool fetching top-level pages from responsive IPs."""
+def _charset_of(content_type: str) -> str | None:
+    """The ``charset=`` parameter of a Content-Type header, if any."""
+    for param in content_type.split(";")[1:]:
+        name, _, value = param.partition("=")
+        if name.strip().lower() == "charset":
+            value = value.strip().strip("\"'").lower()
+            return value or None
+    return None
 
-    def __init__(self, transport: Transport, config: FetchConfig | None = None):
+
+def decode_body(raw: bytes, content_type: str) -> str:
+    """Decode a response body honouring the declared charset.
+
+    Falls back to UTF-8 when no (or an unknown/hostile) charset is
+    declared; ``errors="replace"`` in both paths means decoding never
+    raises, so non-UTF-8 pages stop mojibake-ing feature extraction
+    without poison charsets gaining a crash vector.
+    """
+    charset = _charset_of(content_type)
+    if charset:
+        try:
+            return raw.decode(charset, errors="replace")
+        except (LookupError, ValueError):
+            pass  # unknown or non-text codec name: fall back
+    return raw.decode("utf-8", errors="replace")
+
+
+class Fetcher:
+    """Worker pool fetching top-level pages from responsive IPs.
+
+    The pool runs through the supervision layer
+    (:class:`~repro.core.guard.Supervisor`): a bounded work queue
+    instead of one task per IP, a per-IP wall-clock deadline, and AIMD
+    backpressure on the concurrency limit.  A standalone fetcher builds
+    its own supervisor; the platform injects a shared one so fetch and
+    extract feed the same quarantine.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        config: FetchConfig | None = None,
+        guard: Supervisor | None = None,
+    ):
         self.transport = transport
         self.config = config or FetchConfig()
+        self.guard = guard or Supervisor(concurrency=self.config.workers)
         #: GET counter across the fetcher's lifetime (ethics audit: at
         #: most two GETs per IP per round — plus explicitly configured
         #: retries, which are off by default to keep paper semantics).
@@ -104,14 +146,47 @@ class Fetcher:
         )
 
     async def fetch(self, outcomes: Sequence[ProbeOutcome]) -> list[FetchResult]:
-        """Fetch many IPs through the worker pool; preserves order."""
-        semaphore = asyncio.Semaphore(self.config.workers)
+        """Fetch many IPs through the supervised pool; preserves order.
 
-        async def bounded(outcome: ProbeOutcome) -> FetchResult:
-            async with semaphore:
-                return await self.fetch_ip(outcome)
+        Every per-IP task runs under ``GuardConfig.fetch_deadline``; a
+        blown deadline or an exception that escapes :meth:`fetch_ip`
+        becomes an ERROR result plus a quarantine record instead of a
+        crashed round.
+        """
 
-        return list(await asyncio.gather(*(bounded(o) for o in outcomes)))
+        def failed(result: FetchResult) -> bool:
+            return result.status is FetchStatus.ERROR
+
+        def fallback(outcome: ProbeOutcome, exc: BaseException) -> FetchResult:
+            self.fetch_errors += 1
+            verdict = (
+                GuardVerdict.STAGE_DEADLINE
+                if isinstance(exc, StageDeadlineExceeded)
+                else GuardVerdict.TASK_ERROR
+            )
+            self.guard.quarantine(
+                ip=outcome.ip, stage=Supervisor.FETCH, verdict=verdict,
+                exc=exc,
+            )
+            url = ""
+            if outcome.scheme is not None:
+                url = f"{outcome.scheme}://{_dotted(outcome.ip)}/"
+            return FetchResult(
+                ip=outcome.ip,
+                status=FetchStatus.ERROR,
+                url=url,
+                error=str(exc),
+                error_class=classify_error(exc),
+            )
+
+        return list(await self.guard.map(
+            outcomes,
+            self.fetch_ip,
+            stage=Supervisor.FETCH,
+            deadline=self.guard.config.fetch_deadline,
+            is_failure=failed,
+            fallback=fallback,
+        ))
 
     def fetch_sync(self, outcomes: Sequence[ProbeOutcome]) -> list[FetchResult]:
         return asyncio.run(self.fetch(outcomes))
@@ -175,7 +250,7 @@ class Fetcher:
         if not self.config.should_download(response.content_type):
             return None
         raw = response.body[: self.config.max_body_bytes]
-        return raw.decode("utf-8", errors="replace")
+        return decode_body(raw, response.header("content-type"))
 
 
 def _dotted(ip: int) -> str:

@@ -1,0 +1,476 @@
+"""Pipeline supervision: deadlines, adaptive backpressure, quarantine.
+
+WhoWas fetches top-level pages from millions of uncurated cloud IPs, and
+the wild web serves exactly the adversarial inputs that break
+hosting-environment crawlers: header bombs, deeply-nested or
+unterminated HTML, encoding garbage, slow-loris bodies, megabyte
+``<title>`` tags.  The transport and the store are already resilient;
+this module makes the *pipeline* resilient — a single poison page may
+cost its own record, never a round.
+
+:class:`Supervisor` is the one place per-task fault policy lives:
+
+* **Deadlines** — every per-IP unit of work runs under a per-stage
+  wall-clock ceiling (``asyncio.wait_for`` with cancel-and-record
+  semantics).  A blown deadline yields a sentinel result plus a
+  dead-letter record, not a hung round.
+* **Work queue** — :meth:`Supervisor.map` bounds in-flight tasks with a
+  real feeder/worker queue instead of one-task-per-item ``gather``,
+  so a 4.7M-IP round holds thousands, not millions, of task objects.
+* **AIMD backpressure** — :class:`AimdController` halves the fetch
+  concurrency limit when the rolling timeout/error rate crosses
+  ``GuardConfig.aimd_error_threshold`` and recovers additively once the
+  storm passes.
+* **Dead-letter quarantine** — any exception trapped in the fetch or
+  extract stage, any blown deadline, and any hostile-content verdict
+  produces a :class:`~repro.core.records.QuarantineRecord`; the store
+  journals them next to the round so ``repro quarantine replay`` can
+  re-process the pages after an extractor fix.
+
+Extraction runs inline for small, clean bodies (the overwhelmingly
+common case) and in a worker thread under the extract deadline for
+large or suspect ones.  A thread that blows the deadline is abandoned,
+not cancelled — Python cannot interrupt it — but the pipeline moves on
+and the page is quarantined, which is the property that matters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import re
+from collections import Counter, deque
+from typing import Awaitable, Callable, Sequence, TypeVar
+
+from .config import GuardConfig
+from .features import FeatureExtractor
+from .records import FetchResult, PageFeatures, QuarantineRecord
+from .transport import TransportError
+
+__all__ = [
+    "GuardVerdict",
+    "StageDeadlineExceeded",
+    "AimdController",
+    "Supervisor",
+]
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+class StageDeadlineExceeded(TransportError):
+    """A supervised pipeline stage blew its wall-clock deadline."""
+
+    kind = "stage-deadline"
+
+
+class GuardVerdict(enum.Enum):
+    """Why the guard quarantined (or cleared) a unit of work."""
+
+    #: Nothing suspicious; the page flows through unquarantined.
+    OK = "ok"
+    #: The stage exceeded its wall-clock deadline and was cancelled.
+    STAGE_DEADLINE = "stage-deadline"
+    #: The stage raised an exception the guard trapped.
+    TASK_ERROR = "task-error"
+    #: Response carried pathologically many headers.
+    HEADER_BOMB = "header-bomb"
+    #: ``<title>`` content beyond the configured byte ceiling.
+    TITLE_BOMB = "title-bomb"
+    #: Body riddled with NUL bytes / undecodable garbage.
+    BINARY_GARBAGE = "binary-garbage"
+    #: Deeply-nested or unterminated markup (tag-open bomb).
+    MARKUP_BOMB = "markup-bomb"
+
+
+#: Verdicts produced by content inspection (vs. runtime failures).
+_CONTENT_VERDICTS = frozenset({
+    GuardVerdict.HEADER_BOMB,
+    GuardVerdict.TITLE_BOMB,
+    GuardVerdict.BINARY_GARBAGE,
+    GuardVerdict.MARKUP_BOMB,
+})
+
+_TITLE_OPEN_RE = re.compile(r"<title", re.IGNORECASE)
+_TITLE_CLOSE_RE = re.compile(r"</title", re.IGNORECASE)
+_OPEN_TAG_RE = re.compile(r"<[A-Za-z]")
+_CLOSE_TAG_RE = re.compile(r"</")
+
+
+def _truncate(text: str, limit: int) -> str:
+    return text if len(text) <= limit else text[:limit]
+
+
+def _sentinel_features(body: str) -> PageFeatures:
+    """What a quarantined page contributes to its round record: every
+    feature unknown, only the raw length preserved."""
+    return PageFeatures(html_length=len(body))
+
+
+class AimdController:
+    """Additive-increase / multiplicative-decrease concurrency gate.
+
+    Workers call :meth:`acquire` before and :meth:`release` after each
+    unit of work; the gate admits at most :attr:`limit` units at once.
+    Outcomes feed a rolling window, evaluated once per window-length of
+    results: an error fraction above the threshold halves the limit
+    (never below ``min_limit``); otherwise the limit recovers by
+    ``increase_step`` (never above ``max_limit``).
+
+    The asyncio condition is (re)bound lazily to the running loop, so
+    one controller safely spans the platform's one-``asyncio.run``-per-
+    round lifecycle while keeping its AIMD state across rounds.
+    """
+
+    def __init__(
+        self,
+        limit: int,
+        *,
+        min_limit: int = 1,
+        window: int = 64,
+        error_threshold: float = 0.5,
+        increase_step: int = 1,
+    ):
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.max_limit = limit
+        self.limit = limit
+        self.min_limit = max(1, min(min_limit, limit))
+        self._threshold = error_threshold
+        self._step = max(1, increase_step)
+        self._window: deque[bool] = deque(maxlen=max(1, window))
+        self._since_eval = 0
+        self._active = 0
+        self._cond: asyncio.Condition | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        #: Telemetry the chaos suite asserts against.
+        self.decreases = 0
+        self.increases = 0
+        self.min_observed = limit
+        self.peak_in_flight = 0
+
+    def _condition(self) -> asyncio.Condition:
+        loop = asyncio.get_running_loop()
+        if self._cond is None or self._loop is not loop:
+            self._cond = asyncio.Condition()
+            self._loop = loop
+            self._active = 0
+        return self._cond
+
+    async def acquire(self) -> None:
+        """Block until the current limit admits another unit of work."""
+        cond = self._condition()
+        async with cond:
+            await cond.wait_for(lambda: self._active < self.limit)
+            self._active += 1
+            self.peak_in_flight = max(self.peak_in_flight, self._active)
+
+    async def release(self, ok: bool) -> None:
+        """Return a slot and feed the outcome to the AIMD window."""
+        cond = self._condition()
+        async with cond:
+            self._active = max(0, self._active - 1)
+            self._record(ok)
+            cond.notify_all()
+
+    @property
+    def in_flight(self) -> int:
+        return self._active
+
+    def _record(self, ok: bool) -> None:
+        if self._threshold >= 1.0:
+            return  # controller disabled
+        self._window.append(ok)
+        self._since_eval += 1
+        maxlen = self._window.maxlen or 1
+        if self._since_eval < maxlen or len(self._window) < maxlen:
+            return
+        self._since_eval = 0
+        failures = sum(1 for good in self._window if not good)
+        if failures / len(self._window) > self._threshold:
+            halved = max(self.min_limit, self.limit // 2)
+            if halved < self.limit:
+                self.limit = halved
+                self.decreases += 1
+                self.min_observed = min(self.min_observed, halved)
+        elif self.limit < self.max_limit:
+            self.limit = min(self.max_limit, self.limit + self._step)
+            self.increases += 1
+
+
+class Supervisor:
+    """Wraps every per-IP unit of work in the pipeline's fault policy.
+
+    One instance supervises a platform for its lifetime: the fetcher
+    routes its pool through :meth:`map`, the platform routes feature
+    extraction through :meth:`extract_features`, and both sides feed
+    the same dead-letter buffer the store journals per shard.
+    """
+
+    #: Stage labels used in quarantine records and stats.
+    FETCH = "fetch"
+    EXTRACT = "extract"
+
+    def __init__(
+        self, config: GuardConfig | None = None, *, concurrency: int = 256
+    ):
+        self.config = config or GuardConfig()
+        self.controller = AimdController(
+            concurrency,
+            min_limit=self.config.aimd_min_concurrency,
+            window=self.config.aimd_window,
+            error_threshold=self.config.aimd_error_threshold,
+            increase_step=self.config.aimd_increase_step,
+        )
+        self.round_id = 0
+        self.timestamp = 0
+        self._quarantine: list[QuarantineRecord] = []
+        #: Units of work run through :meth:`map` (lifetime counter).
+        self.tasks_run = 0
+        #: Deadline kills per stage label.
+        self.deadline_kills: Counter[str] = Counter()
+        #: Exceptions trapped per stage label.
+        self.trapped: Counter[str] = Counter()
+        #: Quarantine records produced (lifetime counter).
+        self.quarantined_total = 0
+
+    # ------------------------------------------------------------------
+    # round context
+
+    def start_round(self, round_id: int, timestamp: int) -> None:
+        """Stamp subsequent quarantine records with this round."""
+        self.round_id = round_id
+        self.timestamp = timestamp
+
+    # ------------------------------------------------------------------
+    # supervised work queue (fetch stage)
+
+    async def map(
+        self,
+        items: Sequence[ItemT],
+        worker: Callable[[ItemT], Awaitable[ResultT]],
+        *,
+        stage: str,
+        deadline: float,
+        is_failure: Callable[[ResultT], bool] | None = None,
+        fallback: Callable[[ItemT, BaseException], ResultT],
+    ) -> list[ResultT]:
+        """Run *worker* over *items* through the bounded work queue.
+
+        Results come back in input order.  Each unit runs under
+        *deadline* seconds of wall clock (0 disables); a blown deadline
+        or any trapped exception is converted to ``fallback(item, exc)``
+        so the caller always receives one result per item.  *is_failure*
+        classifies ordinary results for the AIMD window (e.g. a
+        ``FetchResult`` that records a transport error).
+        """
+        total = len(items)
+        if total == 0:
+            return []
+        results: list[ResultT | None] = [None] * total
+        workers_n = max(1, min(self.controller.max_limit, total))
+        queue: asyncio.Queue = asyncio.Queue(maxsize=2 * workers_n)
+
+        async def feed() -> None:
+            for entry in enumerate(items):
+                await queue.put(entry)
+            for _ in range(workers_n):
+                await queue.put(None)
+
+        async def drain() -> None:
+            while True:
+                entry = await queue.get()
+                if entry is None:
+                    return
+                index, item = entry
+                results[index] = await self._run_one(
+                    item, worker, stage=stage, deadline=deadline,
+                    is_failure=is_failure, fallback=fallback,
+                )
+
+        feeder = asyncio.create_task(feed())
+        try:
+            await asyncio.gather(*(drain() for _ in range(workers_n)))
+            await feeder
+        finally:
+            if not feeder.done():
+                feeder.cancel()
+        return results  # type: ignore[return-value]
+
+    async def _run_one(
+        self,
+        item: ItemT,
+        worker: Callable[[ItemT], Awaitable[ResultT]],
+        *,
+        stage: str,
+        deadline: float,
+        is_failure: Callable[[ResultT], bool] | None,
+        fallback: Callable[[ItemT, BaseException], ResultT],
+    ) -> ResultT:
+        await self.controller.acquire()
+        self.tasks_run += 1
+        ok = True
+        try:
+            if deadline > 0:
+                result = await asyncio.wait_for(worker(item), deadline)
+            else:
+                result = await worker(item)
+            if is_failure is not None and is_failure(result):
+                ok = False
+        except asyncio.TimeoutError:
+            ok = False
+            self.deadline_kills[stage] += 1
+            result = fallback(item, StageDeadlineExceeded(
+                f"{stage} stage exceeded its {deadline:g}s deadline"
+            ))
+        except Exception as exc:  # poison-proof by design
+            ok = False
+            self.trapped[stage] += 1
+            result = fallback(item, exc)
+        finally:
+            await self.controller.release(ok)
+        return result
+
+    # ------------------------------------------------------------------
+    # hostile-content inspection
+
+    def inspect(self, fetch: FetchResult) -> GuardVerdict:
+        """Cheap hostility checks on a fetched page.
+
+        All checks are linear scans — the inspector must never itself
+        be the thing a poison page hangs.
+        """
+        cfg = self.config
+        if len(fetch.headers) > cfg.max_response_headers:
+            return GuardVerdict.HEADER_BOMB
+        body = fetch.body or ""
+        if not body:
+            return GuardVerdict.OK
+        if body.count("\x00") > cfg.max_null_bytes:
+            return GuardVerdict.BINARY_GARBAGE
+        if self._title_length(body) > cfg.max_title_bytes:
+            return GuardVerdict.TITLE_BOMB
+        opens = sum(1 for _ in _OPEN_TAG_RE.finditer(body))
+        closes = sum(1 for _ in _CLOSE_TAG_RE.finditer(body))
+        if opens - closes > cfg.max_unclosed_tags:
+            return GuardVerdict.MARKUP_BOMB
+        return GuardVerdict.OK
+
+    @staticmethod
+    def _title_length(body: str) -> int:
+        """Bytes of ``<title>`` content, counting to end-of-document
+        when the tag is unterminated (the usual bomb shape)."""
+        open_match = _TITLE_OPEN_RE.search(body)
+        if open_match is None:
+            return 0
+        start = body.find(">", open_match.end())
+        start = open_match.end() if start == -1 else start + 1
+        close_match = _TITLE_CLOSE_RE.search(body, start)
+        end = len(body) if close_match is None else close_match.start()
+        return max(0, end - start)
+
+    # ------------------------------------------------------------------
+    # supervised extraction (extract stage)
+
+    async def extract_features(
+        self, extractor: FeatureExtractor, fetch: FetchResult
+    ) -> PageFeatures:
+        """Run ``extractor.extract(fetch)`` under the guard.
+
+        Never raises: a trapped exception or blown deadline yields
+        sentinel features (everything unknown, length preserved) plus a
+        quarantine record; hostile content yields best-effort features
+        *and* a quarantine record, so the page can be replayed after an
+        extractor fix.
+        """
+        body = fetch.body or ""
+        verdict = self.inspect(fetch)
+        deadline = self.config.extract_deadline
+        inline = deadline <= 0 or (
+            verdict is GuardVerdict.OK
+            and len(body) <= self.config.extract_inline_max_bytes
+        )
+        try:
+            if inline:
+                features = extractor.extract(fetch)
+            else:
+                loop = asyncio.get_running_loop()
+                features = await asyncio.wait_for(
+                    loop.run_in_executor(None, extractor.extract, fetch),
+                    deadline,
+                )
+        except asyncio.TimeoutError:
+            self.deadline_kills[self.EXTRACT] += 1
+            self.quarantine(
+                ip=fetch.ip, stage=self.EXTRACT,
+                verdict=GuardVerdict.STAGE_DEADLINE,
+                exc=StageDeadlineExceeded(
+                    f"extract stage exceeded its {deadline:g}s deadline"
+                ),
+                payload=body,
+            )
+            return _sentinel_features(body)
+        except Exception as exc:  # poison-proof by design
+            self.trapped[self.EXTRACT] += 1
+            self.quarantine(
+                ip=fetch.ip, stage=self.EXTRACT,
+                verdict=GuardVerdict.TASK_ERROR, exc=exc, payload=body,
+            )
+            return _sentinel_features(body)
+        if verdict is not GuardVerdict.OK:
+            self.quarantine(
+                ip=fetch.ip, stage=self.EXTRACT, verdict=verdict,
+                payload=body,
+            )
+        return features
+
+    # ------------------------------------------------------------------
+    # dead-letter quarantine
+
+    def quarantine(
+        self,
+        *,
+        ip: int,
+        stage: str,
+        verdict: GuardVerdict,
+        exc: BaseException | None = None,
+        payload: str = "",
+    ) -> QuarantineRecord:
+        """Buffer one dead-letter record for the current round."""
+        record = QuarantineRecord(
+            ip=ip,
+            round_id=self.round_id,
+            timestamp=self.timestamp,
+            stage=stage,
+            verdict=verdict.value,
+            error_class=type(exc).__name__ if exc is not None else None,
+            error=_truncate(str(exc), 200) if exc is not None else None,
+            payload=_truncate(payload, self.config.quarantine_payload_bytes),
+        )
+        self._quarantine.append(record)
+        self.quarantined_total += 1
+        return record
+
+    def drain_quarantine(self) -> list[QuarantineRecord]:
+        """Hand the buffered dead letters to the caller (the platform
+        journals them with the shard that produced them)."""
+        drained, self._quarantine = self._quarantine, []
+        return drained
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Supervision telemetry — what the chaos suite asserts on."""
+        return {
+            "tasks_run": self.tasks_run,
+            "deadline_kills_fetch": self.deadline_kills[self.FETCH],
+            "deadline_kills_extract": self.deadline_kills[self.EXTRACT],
+            "trapped_fetch": self.trapped[self.FETCH],
+            "trapped_extract": self.trapped[self.EXTRACT],
+            "quarantined": self.quarantined_total,
+            "concurrency_limit": self.controller.limit,
+            "concurrency_min_observed": self.controller.min_observed,
+            "concurrency_peak_in_flight": self.controller.peak_in_flight,
+            "aimd_decreases": self.controller.decreases,
+            "aimd_increases": self.controller.increases,
+        }

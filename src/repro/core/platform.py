@@ -24,6 +24,7 @@ from typing import Sequence
 from .config import PlatformConfig
 from .features import FeatureExtractor
 from .fetcher import Fetcher
+from .guard import Supervisor
 from .records import (
     FetchResult,
     FetchStatus,
@@ -68,6 +69,8 @@ class RoundSummary:
     errors: int = 0
     #: Targets skipped because their /24's circuit breaker was open.
     circuit_open: int = 0
+    #: Dead-letter entries the supervision layer wrote this round.
+    quarantined: int = 0
 
     @property
     def round_id(self) -> int:
@@ -106,7 +109,12 @@ class WhoWas:
         self.scanner = Scanner(
             transport, self.config.scan, blacklist=self.config.blacklist
         )
-        self.fetcher = Fetcher(transport, self.config.fetch)
+        # One supervisor spans fetch and extract so both stages feed the
+        # same AIMD controller and dead-letter quarantine.
+        self.guard = Supervisor(
+            self.config.guard, concurrency=self.config.fetch.workers
+        )
+        self.fetcher = Fetcher(transport, self.config.fetch, guard=self.guard)
         self.features = FeatureExtractor()
         self._next_round_id = self.store.max_round_id() + 1
 
@@ -155,6 +163,7 @@ class WhoWas:
         if callable(round_hook):
             round_hook(round_id)
         self.scanner.breaker.reset()
+        self.guard.start_round(round_id, timestamp)
 
         shards = [
             targets[start:start + shard_size]
@@ -175,6 +184,7 @@ class WhoWas:
             self.store.write_shard(
                 round_id, index, records,
                 errors=errors, operations=operations,
+                quarantine=self.guard.drain_quarantine(),
             )
 
         errors, operations = self.store.shard_stats(round_id)
@@ -195,6 +205,7 @@ class WhoWas:
             fetched=stats["fetched"],
             errors=errors,
             circuit_open=self.scanner.circuit_open_skips - circuit_before,
+            quarantined=self.store.quarantine_count(round_id),
         )
 
     async def _run_shard(
@@ -221,7 +232,13 @@ class WhoWas:
                 outcome.ip,
                 FetchResult(ip=outcome.ip, status=FetchStatus.NOT_ATTEMPTED),
             )
-            features = self.features.extract(fetch) if fetch.body else None
+            features = None
+            if fetch.body:
+                # Guarded extraction: a poison page yields sentinel
+                # features plus a quarantine entry, never a crash.
+                features = await self.guard.extract_features(
+                    self.features, fetch
+                )
             records.append(RoundRecord(
                 ip=outcome.ip,
                 round_id=round_id,

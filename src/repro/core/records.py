@@ -19,6 +19,7 @@ __all__ = [
     "FetchResult",
     "PageFeatures",
     "RoundRecord",
+    "QuarantineRecord",
     "UNKNOWN",
 ]
 
@@ -175,6 +176,65 @@ class PageFeatures:
         title, template, server, keywords, and Analytics ID."""
         return (self.title, self.template, self.server,
                 self.keywords, self.analytics_id)
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One dead-letter row: a per-IP unit of work the supervision layer
+    had to neutralise (deadline kill, trapped exception, or hostile
+    content) instead of letting it take the round down.
+
+    Quarantined pages still produce a (possibly sentinel) round record;
+    this row is the side channel that lets ``repro quarantine replay``
+    re-process them once the extractor is fixed.
+    """
+
+    ip: int
+    round_id: int
+    timestamp: int
+    #: Pipeline stage that tripped: ``"fetch"`` or ``"extract"``.
+    stage: str
+    #: Guard verdict label (:class:`repro.core.guard.GuardVerdict`).
+    verdict: str
+    #: Exception class name, when an exception was trapped.
+    error_class: str | None = None
+    #: Truncated exception message.
+    error: str | None = None
+    #: Truncated offending payload (body excerpt) for post-mortem.
+    payload: str = ""
+    #: Store row id; set when loaded from a database.
+    entry_id: int | None = None
+    #: True once ``repro quarantine replay`` re-processed this entry.
+    replayed: bool = False
+
+    def to_row(self) -> dict:
+        return {
+            "ip": self.ip,
+            "round_id": self.round_id,
+            "timestamp": self.timestamp,
+            "stage": self.stage,
+            "verdict": self.verdict,
+            "error_class": self.error_class,
+            "error": self.error,
+            "payload": self.payload,
+            "replayed": int(self.replayed),
+        }
+
+    @classmethod
+    def from_row(cls, row: Mapping) -> "QuarantineRecord":
+        keys = row.keys() if hasattr(row, "keys") else row
+        return cls(
+            ip=row["ip"],
+            round_id=row["round_id"],
+            timestamp=row["timestamp"],
+            stage=row["stage"],
+            verdict=row["verdict"],
+            error_class=row["error_class"],
+            error=row["error"],
+            payload=row["payload"],
+            entry_id=row["entry_id"] if "entry_id" in keys else None,
+            replayed=bool(row["replayed"]) if "replayed" in keys else False,
+        )
 
 
 @dataclass(frozen=True)

@@ -41,7 +41,7 @@ import sqlite3
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from .records import RoundRecord
+from .records import PageFeatures, QuarantineRecord, RoundRecord
 
 __all__ = [
     "ROUND_IN_PROGRESS",
@@ -155,6 +155,24 @@ class MeasurementStore:
             "  value TEXT NOT NULL"
             ")"
         )
+        # Dead-letter quarantine: pages the supervision layer had to
+        # neutralise (deadline kills, trapped exceptions, hostile
+        # content).  Journaled with the shard that produced them so a
+        # resumed round never duplicates entries.
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS quarantine ("
+            "  entry_id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            "  round_id INTEGER NOT NULL,"
+            "  ip INTEGER NOT NULL,"
+            "  timestamp INTEGER NOT NULL,"
+            "  stage TEXT NOT NULL,"
+            "  verdict TEXT NOT NULL,"
+            "  error_class TEXT,"
+            "  error TEXT,"
+            "  payload TEXT NOT NULL DEFAULT '',"
+            "  replayed INTEGER NOT NULL DEFAULT 0"
+            ")"
+        )
         self._migrate_rounds_table()
         self._conn.commit()
 
@@ -258,14 +276,17 @@ class MeasurementStore:
         *,
         errors: int = 0,
         operations: int = 0,
+        quarantine: Iterable[QuarantineRecord] = (),
     ) -> bool:
         """Commit one shard of a round atomically.
 
         Idempotent: a shard index that already committed is skipped
         (returns False), so a crashed-and-resumed process can blindly
-        replay its shard sequence without duplicating rows.  The rows
-        and the shard journal entry land in one transaction — a crash
-        mid-write rolls the whole shard back.
+        replay its shard sequence without duplicating rows.  The rows,
+        the shard's *quarantine* entries, and the shard journal entry
+        land in one transaction — a crash mid-write rolls the whole
+        shard back, and the committed-shard skip covers quarantine
+        entries too (no duplicates on resume).
         """
         info = self._open_round(round_id)
         already = self._conn.execute(
@@ -282,6 +303,18 @@ class MeasurementStore:
             (
                 tuple(record.to_row()[name] for name in _COLUMN_NAMES)
                 for record in rows
+            ),
+        )
+        self._conn.executemany(
+            "INSERT INTO quarantine "
+            "(round_id, ip, timestamp, stage, verdict, error_class,"
+            " error, payload, replayed) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                (entry.round_id, entry.ip, entry.timestamp, entry.stage,
+                 entry.verdict, entry.error_class, entry.error,
+                 entry.payload, int(entry.replayed))
+                for entry in quarantine
             ),
         )
         self._conn.execute(
@@ -401,6 +434,85 @@ class MeasurementStore:
             "SELECT COALESCE(MAX(round_id), 0) FROM rounds"
         ).fetchone()
         return int(row[0])
+
+    # ------------------------------------------------------------------
+    # quarantine (dead-letter)
+
+    def add_quarantine(self, entry: QuarantineRecord) -> int:
+        """Insert one quarantine entry outside the shard protocol
+        (used by tools and tests); returns its entry_id."""
+        cursor = self._conn.execute(
+            "INSERT INTO quarantine "
+            "(round_id, ip, timestamp, stage, verdict, error_class,"
+            " error, payload, replayed) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (entry.round_id, entry.ip, entry.timestamp, entry.stage,
+             entry.verdict, entry.error_class, entry.error,
+             entry.payload, int(entry.replayed)),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    def quarantine_rows(
+        self,
+        round_id: int | None = None,
+        *,
+        include_replayed: bool = True,
+    ) -> list[QuarantineRecord]:
+        """Quarantine entries, oldest first; optionally one round's,
+        optionally only the ones not yet replayed."""
+        sql = "SELECT * FROM quarantine"
+        clauses, params = [], []
+        if round_id is not None:
+            clauses.append("round_id = ?")
+            params.append(round_id)
+        if not include_replayed:
+            clauses.append("replayed = 0")
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY entry_id"
+        cursor = self._conn.execute(sql, params)
+        return [QuarantineRecord.from_row(row) for row in cursor.fetchall()]
+
+    def quarantine_count(self, round_id: int | None = None) -> int:
+        if round_id is None:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM quarantine"
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM quarantine WHERE round_id = ?",
+                (round_id,),
+            ).fetchone()
+        return int(row[0])
+
+    def mark_quarantine_replayed(self, entry_id: int) -> None:
+        self._conn.execute(
+            "UPDATE quarantine SET replayed = 1 WHERE entry_id = ?",
+            (entry_id,),
+        )
+        self._conn.commit()
+
+    def update_features(
+        self, round_id: int, ip: int, features: PageFeatures
+    ) -> bool:
+        """Overwrite one row's feature columns — the ``repro quarantine
+        replay`` path, where a fixed extractor re-processes a stored
+        body.  Returns False when the IP has no row in the round."""
+        info = self._any_round(round_id)
+        cursor = self._conn.execute(
+            f"UPDATE {info.table_name} SET"
+            " powered_by = ?, description = ?, header_string = ?,"
+            " html_length = ?, title = ?, template = ?, server = ?,"
+            " keywords = ?, analytics_id = ?, simhash = ?"
+            " WHERE ip = ?",
+            (features.powered_by, features.description,
+             features.header_string, features.html_length, features.title,
+             features.template, features.server, features.keywords,
+             features.analytics_id, f"{features.simhash:024x}", ip),
+        )
+        self._conn.commit()
+        return cursor.rowcount > 0
 
     # ------------------------------------------------------------------
     # campaign metadata

@@ -36,12 +36,13 @@ from repro.core.transport import (
     ProtocolError,
     TransportError,
 )
+from repro.core.guard import StageDeadlineExceeded
 from repro.workloads import Campaign, ec2_scenario
 from repro.workloads.campaign import simulation_config
 
 KNOWN_CLASSES = {
     TransportError.kind, ConnectTimeout.kind, ConnectionRefused.kind,
-    ProtocolError.kind, BodyTruncated.kind,
+    ProtocolError.kind, BodyTruncated.kind, StageDeadlineExceeded.kind,
 }
 
 

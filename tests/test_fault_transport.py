@@ -7,11 +7,13 @@ import asyncio
 import pytest
 
 from repro.core.faults import (
+    HOSTILE_CONTENT_KINDS,
     FaultKind,
     FaultPlan,
     FaultRule,
     FaultyTransport,
     chaos_plan,
+    hostile_plan,
 )
 from repro.core.transport import (
     BodyTruncated,
@@ -237,8 +239,14 @@ class TestPlanValidation:
             FaultRule(FaultKind.SLOW_RESPONSE, delay=-1.0)
 
     def test_chaos_plan_covers_all_kinds(self):
+        # chaos_plan owns the network kinds; hostile_plan owns the
+        # hostile-content kinds.  Together they cover the taxonomy.
         plan = chaos_plan(0, rate=0.1)
-        assert {rule.kind for rule in plan.rules} == set(FaultKind)
+        hostile = hostile_plan(0, rate=0.1)
+        assert {rule.kind for rule in plan.rules} == (
+            set(FaultKind) - HOSTILE_CONTENT_KINDS
+        )
+        assert {rule.kind for rule in hostile.rules} == HOSTILE_CONTENT_KINDS
 
     def test_chaos_plan_scope(self):
         plan = chaos_plan(0, rate=1.0, ips={5}, rounds={2})

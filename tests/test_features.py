@@ -102,11 +102,71 @@ class TestFeatureExtraction:
         assert first.simhash == second.simhash
         assert len(extractor._simhash_cache) == 1
 
+    def test_simhash_cache_bounded_lru(self):
+        extractor = FeatureExtractor(max_cache_entries=4)
+        for n in range(10):
+            extractor.extract(fetch(body=f"<html>page {n}</html>"))
+        assert len(extractor._simhash_cache) == 4
+        # Re-touching an entry keeps it resident past newer insertions.
+        extractor.extract(fetch(body="<html>page 6</html>"))
+        extractor.extract(fetch(body="<html>page 99</html>"))
+        keys = list(extractor._simhash_cache)
+        import hashlib
+        key6 = hashlib.blake2b(
+            b"<html>page 6</html>", digest_size=16
+        ).digest()
+        assert key6 in keys
+
+    def test_cache_size_must_be_positive(self):
+        import pytest
+        with pytest.raises(ValueError):
+            FeatureExtractor(max_cache_entries=0)
+
+    def test_surrogates_do_not_break_memoization(self):
+        extractor = FeatureExtractor()
+        body = "<html>\udcff lone surrogate</html>"
+        first = extractor.extract(fetch(body=body))
+        second = extractor.extract(fetch(body=body))
+        assert first.simhash == second.simhash
+
     def test_ga_id_formats(self):
         features = FeatureExtractor().extract(
             fetch(body="<html>UA-9999-1</html>")
         )
         assert features.analytics_id == "UA-9999-1"
+
+    def test_meta_attribute_order_reversed(self):
+        # Real pages commonly write content= before name=; the ordered
+        # single-regex parser used to drop these silently.
+        body = """<html><head>
+        <meta content="deals first" name="description">
+        <meta content="a,b" name="keywords">
+        <meta content="Joomla! 2.5" name="generator">
+        </head></html>"""
+        features = FeatureExtractor().extract(fetch(body=body))
+        assert features.description == "deals first"
+        assert features.keywords == "a,b"
+        assert features.template == "Joomla! 2.5"
+
+    def test_meta_quoting_variants(self):
+        body = (
+            "<meta name='description' content='single quoted'>"
+            "<meta name=keywords content=bare>"
+            '<meta NAME="Generator" CONTENT="WP">'
+        )
+        features = FeatureExtractor().extract(fetch(body=body))
+        assert features.description == "single quoted"
+        assert features.keywords == "bare"
+        assert features.template == "WP"
+
+    def test_meta_without_name_or_content_ignored(self):
+        body = (
+            "<meta charset='utf-8'>"
+            "<meta name='description'>"
+            "<meta name='viewport' content='width=device-width'>"
+        )
+        features = FeatureExtractor().extract(fetch(body=body))
+        assert features.description == UNKNOWN
 
 
 class TestExtractLinks:

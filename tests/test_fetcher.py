@@ -415,3 +415,55 @@ class TestRobotsErrorPaths:
         fetcher = Fetcher(transport)
         result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
         assert result.status is FetchStatus.OK
+
+
+class TestBodyDecoding:
+    def test_declared_charset_honoured(self):
+        from repro.core.fetcher import decode_body
+        from repro.core.transport import HttpResponse
+
+        transport = FakeTransport()
+        transport.add_host(1, {80})
+        transport.pages[(1, "/")] = HttpResponse(
+            200,
+            {"Content-Type": "text/html; charset=iso-8859-1"},
+            "<html><title>café</title></html>".encode("iso-8859-1"),
+        )
+        fetcher = Fetcher(transport)
+        result = asyncio.run(fetcher.fetch_ip(outcome(1, {80})))
+        assert result.body == "<html><title>café</title></html>"
+        # The same bytes read as UTF-8 would have mojibake'd.
+        assert decode_body(
+            "café".encode("iso-8859-1"), "text/html"
+        ) != "café"
+
+    def test_unknown_charset_falls_back_to_utf8(self):
+        from repro.core.fetcher import decode_body
+
+        raw = "<html>ünïcode</html>".encode("utf-8")
+        assert decode_body(
+            raw, "text/html; charset=klingon-8"
+        ) == "<html>ünïcode</html>"
+
+    def test_hostile_codec_name_cannot_crash(self):
+        from repro.core.fetcher import decode_body
+
+        for charset in ("", "   ", "base64", "zip", "\x00bad", "rot13",
+                        '"utf-8"', "'latin-1'"):
+            text = decode_body(
+                b"<html>x</html>", f"text/html; charset={charset}"
+            )
+            assert isinstance(text, str)
+
+    def test_invalid_bytes_replaced_never_raise(self):
+        from repro.core.fetcher import decode_body
+
+        text = decode_body(b"\xff\xfe<html>\xc3\x28</html>", "text/html")
+        assert "�" in text
+
+    def test_quoted_charset_parameter(self):
+        from repro.core.fetcher import _charset_of
+
+        assert _charset_of('text/html; charset="ISO-8859-1"') == "iso-8859-1"
+        assert _charset_of("text/html; boundary=x; charset=utf-8") == "utf-8"
+        assert _charset_of("text/html") is None
