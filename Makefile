@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test chaos bench all
+.PHONY: test chaos bench bench-smoke all
 
 # Tier-1: the fast suite (the chaos storm matrix is deselected by the
 # `-m 'not chaos'` default in pyproject.toml).
@@ -18,5 +18,11 @@ chaos:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick serial-vs-overlapped round-pipeline throughput comparison;
+# regenerates BENCH_pipeline.json at the repo root.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_pipeline_throughput.py --ips 512 \
+		--latency 0.02 --out BENCH_pipeline.json
 
 all: test chaos

@@ -1,0 +1,180 @@
+"""Round-pipeline throughput: serial engine vs streaming overlap.
+
+The cloud simulator answers from CPU with no I/O waits, so stage
+overlap alone cannot make it faster — real deployments win because the
+scanner's probe timeouts, the fetcher's GETs and the store's fsyncs
+all *wait* while other stages could be working.  This bench restores
+that shape with :class:`LatencyTransport`, which injects a fixed
+``asyncio.sleep`` into every probe/GET/banner, then times one full
+round with ``pipeline.overlap`` off and on over the identical scenario.
+
+Run standalone to (re)generate the committed results file::
+
+    python benchmarks/bench_pipeline_throughput.py --out BENCH_pipeline.json
+
+Also collected by pytest as a smoke test (small scale, loose bound).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone execution without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import WhoWas
+from repro.core.config import (
+    FetchConfig,
+    PipelineConfig,
+    PlatformConfig,
+    ScanConfig,
+)
+from repro.workloads import ec2_scenario
+
+
+class LatencyTransport:
+    """Adds a fixed event-loop latency to every network operation."""
+
+    def __init__(self, inner, delay: float):
+        self.inner = inner
+        self.delay = delay
+
+    def on_round_start(self, round_id: int) -> None:
+        hook = getattr(self.inner, "on_round_start", None)
+        if callable(hook):
+            hook(round_id)
+
+    async def probe(self, ip, port, timeout):
+        await asyncio.sleep(self.delay)
+        return await self.inner.probe(ip, port, timeout)
+
+    async def banner(self, ip, port, timeout):
+        await asyncio.sleep(self.delay)
+        return await self.inner.banner(ip, port, timeout)
+
+    async def get(self, ip, scheme, path, **kwargs):
+        await asyncio.sleep(self.delay)
+        return await self.inner.get(ip, scheme, path, **kwargs)
+
+
+def _config(overlap: bool, shard_size: int) -> PlatformConfig:
+    return PlatformConfig(
+        scan=ScanConfig(probes_per_second=1e12, concurrency=4096),
+        fetch=FetchConfig(workers=4096),
+        grab_ssh_banners=True,
+        shard_size=shard_size,
+        pipeline=PipelineConfig(overlap=overlap),
+    )
+
+
+def run_once(
+    *,
+    overlap: bool,
+    total_ips: int,
+    latency: float,
+    seed: int,
+    shard_size: int,
+) -> dict:
+    """One full round over a fresh scenario; returns timing + stats."""
+    scenario = ec2_scenario(total_ips=total_ips, seed=seed)
+    transport = LatencyTransport(scenario.transport, latency)
+    platform = WhoWas(
+        transport, config=_config(overlap, shard_size)
+    )
+    started = time.perf_counter()
+    summary = platform.run_round(
+        list(scenario.targets), timestamp=scenario.scan_days[0]
+    )
+    elapsed = time.perf_counter() - started
+    platform.close()
+    stats = summary.pipeline
+    return {
+        "mode": stats.mode,
+        "records": stats.records_written,
+        "seconds": round(elapsed, 4),
+        "records_per_second": round(stats.records_written / elapsed, 2),
+        "writer_flushes": stats.writer_flushes,
+        "writer_max_batch": stats.writer_max_batch,
+        "stages": {
+            name: {
+                "busy_seconds": round(stage.busy_seconds, 4),
+                "queue_peak": stage.queue_peak,
+                "backpressure_waits": stage.backpressure_waits,
+            }
+            for name, stage in sorted(stats.stages.items())
+        },
+    }
+
+
+def run_benchmark(
+    total_ips: int = 1024,
+    latency: float = 0.02,
+    seed: int = 7,
+    shard_size: int = 64,
+) -> dict:
+    serial = run_once(
+        overlap=False, total_ips=total_ips, latency=latency,
+        seed=seed, shard_size=shard_size,
+    )
+    overlapped = run_once(
+        overlap=True, total_ips=total_ips, latency=latency,
+        seed=seed, shard_size=shard_size,
+    )
+    speedup = (
+        overlapped["records_per_second"] / serial["records_per_second"]
+        if serial["records_per_second"] else 0.0
+    )
+    return {
+        "benchmark": "pipeline_throughput",
+        "total_ips": total_ips,
+        "shard_size": shard_size,
+        "latency_seconds": latency,
+        "seed": seed,
+        "serial": serial,
+        "overlapped": overlapped,
+        "speedup": round(speedup, 3),
+    }
+
+
+def test_overlap_beats_serial_smoke():
+    """Small-scale smoke: the streaming pipeline must out-run the
+    serial engine once network waits exist (loose bound, real sleeps)."""
+    result = run_benchmark(total_ips=192, latency=0.01, shard_size=32)
+    assert result["overlapped"]["records"] == result["serial"]["records"]
+    assert result["speedup"] > 1.1, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ips", type=int, default=1024)
+    parser.add_argument("--latency", type=float, default=0.02,
+                        help="injected per-operation latency in seconds")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shard-size", type=int, default=64)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON result here (default: stdout)")
+    args = parser.parse_args(argv)
+    result = run_benchmark(
+        total_ips=args.ips, latency=args.latency,
+        seed=args.seed, shard_size=args.shard_size,
+    )
+    payload = json.dumps(result, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(payload + "\n")
+        print(f"serial:     {result['serial']['records_per_second']:8.1f} rec/s")
+        print(f"overlapped: {result['overlapped']['records_per_second']:8.1f} rec/s")
+        print(f"speedup:    {result['speedup']:.2f}x -> {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -137,6 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate.add_argument("db")
     aggregate.add_argument("--cloud", default="unknown")
 
+    rounds = commands.add_parser(
+        "rounds", help="list a database's rounds with wall-clock durations"
+    )
+    rounds.add_argument("db")
+
+    stats = commands.add_parser(
+        "stats",
+        help="per-stage pipeline throughput telemetry for a database",
+    )
+    stats.add_argument("db")
+    stats.add_argument("--round", type=int, default=None,
+                       help="show one round in detail (default: all)")
+
     quarantine = commands.add_parser(
         "quarantine",
         help="inspect or replay the dead-letter quarantine of a database",
@@ -162,6 +175,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "lookup": _cmd_lookup,
         "aggregate": _cmd_aggregate,
+        "rounds": _cmd_rounds,
+        "stats": _cmd_stats,
         "quarantine": _cmd_quarantine,
     }[args.command]
     return handler(args)
@@ -357,6 +372,81 @@ def _cmd_aggregate(args) -> int:
     report = build_aggregate_report(args.cloud, dataset, clustering)
     report.assert_private()
     print(report.to_json())
+    return 0
+
+
+def _cmd_rounds(args) -> int:
+    store = MeasurementStore(args.db)
+    rounds = store.rounds()
+    if not rounds:
+        print("database holds no finalized rounds", file=sys.stderr)
+        return 1
+    print(f"{'round':>5}  {'day':>4}  {'targets':>7}  {'resp':>6}  "
+          f"{'errors':>6}  {'status':<9}  {'duration':>9}")
+    for info in rounds:
+        print(f"{info.round_id:>5}  {info.timestamp:>4}  "
+              f"{info.targets_probed:>7}  {info.responsive_count:>6}  "
+              f"{info.error_count:>6}  {info.status:<9}  "
+              f"{info.duration_seconds:>8.2f}s")
+    partial = store.open_rounds()
+    if partial:
+        print(f"+ {len(partial)} in-progress round(s): "
+              f"{[p.round_id for p in partial]}")
+    return 0
+
+
+def _load_pipeline_stats(store, round_id: int):
+    from .core.platform import PIPELINE_STATS_META_PREFIX
+    from .core.records import PipelineStats
+
+    raw = store.get_meta(f"{PIPELINE_STATS_META_PREFIX}{round_id}")
+    if raw is None:
+        return None
+    return PipelineStats.from_dict(json.loads(raw))
+
+
+def _cmd_stats(args) -> int:
+    store = MeasurementStore(args.db)
+    rounds = store.rounds()
+    if args.round is not None:
+        rounds = [i for i in rounds if i.round_id == args.round]
+        if not rounds:
+            print(f"no finalized round {args.round}", file=sys.stderr)
+            return 1
+    if not rounds:
+        print("database holds no finalized rounds", file=sys.stderr)
+        return 1
+    shown = 0
+    for info in rounds:
+        stats = _load_pipeline_stats(store, info.round_id)
+        if stats is None:
+            continue
+        shown += 1
+        print(f"round {info.round_id} (day {info.timestamp}) — "
+              f"{stats.mode}: {stats.records_written} records in "
+              f"{stats.wall_seconds:.2f}s "
+              f"({stats.records_per_second:.0f} rec/s)")
+        order = {"scan": 0, "fetch": 1, "extract": 2, "write": 3}
+        stages = sorted(
+            stats.stages.values(),
+            key=lambda s: (order.get(s.name, len(order)), s.name),
+        )
+        for stage in stages:
+            print(f"  {stage.name:<8} shards={stage.shards:<4} "
+                  f"items={stage.items:<6} busy={stage.busy_seconds:6.2f}s "
+                  f"({stage.items_per_second:8.0f} items/s)  "
+                  f"queue_peak={stage.queue_peak} "
+                  f"waits={stage.backpressure_waits}")
+        if stats.writer_flushes:
+            avg = stats.writer_flush_seconds / stats.writer_flushes
+            print(f"  writer   flushes={stats.writer_flushes} "
+                  f"avg={avg * 1000:.1f}ms "
+                  f"max={stats.writer_max_flush_seconds * 1000:.1f}ms "
+                  f"max_batch={stats.writer_max_batch} shards")
+    if shown == 0:
+        print("no pipeline telemetry recorded (database predates the "
+              "streaming pipeline)", file=sys.stderr)
+        return 1
     return 0
 
 

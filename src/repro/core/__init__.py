@@ -5,7 +5,13 @@ cloud IP ranges, fetches top-level pages, extracts content features and
 persists per-round records behind a programmatic lookup API.
 """
 
-from .config import FetchConfig, GuardConfig, PlatformConfig, ScanConfig
+from .config import (
+    FetchConfig,
+    GuardConfig,
+    PipelineConfig,
+    PlatformConfig,
+    ScanConfig,
+)
 from .crawler import Crawler, CrawlResult
 from .faults import (
     HOSTILE_CONTENT_KINDS,
@@ -24,21 +30,24 @@ from .guard import (
     StageDeadlineExceeded,
     Supervisor,
 )
+from .pipeline import BoundedShardQueue, RoundPipeline, ShardWork
 from .platform import RoundInterrupted, RoundSummary, WhoWas
 from .records import (
     UNKNOWN,
     FetchResult,
     FetchStatus,
     PageFeatures,
+    PipelineStats,
     Port,
     ProbeOutcome,
     ProbeStatus,
     QuarantineRecord,
     RoundRecord,
+    StageStats,
 )
 from .scanner import RateLimiter, Scanner, SubnetCircuitBreaker
 from .simhash import HASH_BITS, hamming_distance, simhash
-from .store import MeasurementStore, RoundInfo
+from .store import MeasurementStore, RoundInfo, ShardPayload
 from .transport import (
     BodyTruncated,
     ConnectionRefused,
@@ -55,8 +64,12 @@ from .transport import (
 __all__ = [
     "FetchConfig",
     "GuardConfig",
+    "PipelineConfig",
     "PlatformConfig",
     "ScanConfig",
+    "BoundedShardQueue",
+    "RoundPipeline",
+    "ShardWork",
     "Crawler",
     "CrawlResult",
     "FaultKind",
@@ -83,11 +96,13 @@ __all__ = [
     "FetchResult",
     "FetchStatus",
     "PageFeatures",
+    "PipelineStats",
     "Port",
     "ProbeOutcome",
     "ProbeStatus",
     "QuarantineRecord",
     "RoundRecord",
+    "StageStats",
     "RateLimiter",
     "Scanner",
     "SubnetCircuitBreaker",
@@ -96,6 +111,7 @@ __all__ = [
     "simhash",
     "MeasurementStore",
     "RoundInfo",
+    "ShardPayload",
     "HttpResponse",
     "SocketTransport",
     "Transport",

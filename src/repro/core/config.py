@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ScanConfig", "FetchConfig", "GuardConfig", "PlatformConfig"]
+__all__ = [
+    "ScanConfig",
+    "FetchConfig",
+    "GuardConfig",
+    "PipelineConfig",
+    "PlatformConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -187,12 +193,53 @@ class GuardConfig:
 
 
 @dataclass(frozen=True)
+class PipelineConfig:
+    """Streaming round-pipeline parameters (:mod:`repro.core.pipeline`).
+
+    With ``overlap`` on, the round engine runs scan → fetch → extract as
+    concurrent stages connected by bounded shard queues (shard *N+1*
+    scans while *N* fetches and *N−1* extracts), plus a dedicated
+    store-writer stage that commits completed shards in small batched
+    transactions off the hot path.  ``overlap=False`` reproduces the
+    strictly serial per-shard engine — the escape hatch differential
+    tests compare against; both modes produce identical store contents.
+    """
+
+    #: Stage-parallel streaming on/off.
+    overlap: bool = True
+    #: Max shards buffered between scan and fetch.  This is also the
+    #: AIMD coupling point: the supervisor's controller scales the
+    #: *effective* depth by ``limit / max_limit``, so a fetch-side error
+    #: storm throttles the scanner instead of piling up scanned shards.
+    scan_queue_depth: int = 2
+    #: Max shards buffered between fetch and extract.
+    extract_queue_depth: int = 2
+    #: Max completed shards buffered ahead of the store writer.
+    write_queue_depth: int = 4
+    #: Ceiling on shards committed per writer transaction.  The writer
+    #: is adaptive: it commits whatever is queued (1..batch shards) the
+    #: moment it falls idle, so a healthy pipeline still checkpoints
+    #: nearly every shard while a write-bound one amortises commits.
+    writer_batch_shards: int = 4
+    #: Run batch commits in a worker thread so sqlite's fsync never
+    #: blocks the event loop (the store serialises access internally).
+    writer_offload: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("scan_queue_depth", "extract_queue_depth",
+                     "write_queue_depth", "writer_batch_shards"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
 class PlatformConfig:
     """Top-level WhoWas configuration."""
 
     scan: ScanConfig = field(default_factory=ScanConfig)
     fetch: FetchConfig = field(default_factory=FetchConfig)
     guard: GuardConfig = field(default_factory=GuardConfig)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     #: IPs that must never be probed (tenant opt-outs; §4, §7).
     blacklist: frozenset[int] = frozenset()
     #: Also read the SSH banner from IPs with port 22 open (one extra

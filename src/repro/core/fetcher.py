@@ -145,13 +145,20 @@ class Fetcher:
             body=body,
         )
 
-    async def fetch(self, outcomes: Sequence[ProbeOutcome]) -> list[FetchResult]:
+    async def fetch(
+        self,
+        outcomes: Sequence[ProbeOutcome],
+        *,
+        quarantine: list | None = None,
+    ) -> list[FetchResult]:
         """Fetch many IPs through the supervised pool; preserves order.
 
         Every per-IP task runs under ``GuardConfig.fetch_deadline``; a
         blown deadline or an exception that escapes :meth:`fetch_ip`
         becomes an ERROR result plus a quarantine record instead of a
-        crashed round.
+        crashed round.  With *quarantine*, dead letters land in that
+        per-shard sink (pipeline shard attribution) instead of the
+        supervisor-wide buffer.
         """
 
         def failed(result: FetchResult) -> bool:
@@ -166,7 +173,7 @@ class Fetcher:
             )
             self.guard.quarantine(
                 ip=outcome.ip, stage=Supervisor.FETCH, verdict=verdict,
-                exc=exc,
+                exc=exc, sink=quarantine,
             )
             url = ""
             if outcome.scheme is not None:

@@ -210,6 +210,7 @@ class Supervisor:
     #: Stage labels used in quarantine records and stats.
     FETCH = "fetch"
     EXTRACT = "extract"
+    BANNER = "banner"
 
     def __init__(
         self, config: GuardConfig | None = None, *, concurrency: int = 256
@@ -373,7 +374,11 @@ class Supervisor:
     # supervised extraction (extract stage)
 
     async def extract_features(
-        self, extractor: FeatureExtractor, fetch: FetchResult
+        self,
+        extractor: FeatureExtractor,
+        fetch: FetchResult,
+        *,
+        sink: list[QuarantineRecord] | None = None,
     ) -> PageFeatures:
         """Run ``extractor.extract(fetch)`` under the guard.
 
@@ -381,7 +386,9 @@ class Supervisor:
         sentinel features (everything unknown, length preserved) plus a
         quarantine record; hostile content yields best-effort features
         *and* a quarantine record, so the page can be replayed after an
-        extractor fix.
+        extractor fix.  With *sink*, quarantine records go to that
+        per-shard buffer instead of the supervisor-wide one (the
+        streaming pipeline's shard-attribution path).
         """
         body = fetch.body or ""
         verdict = self.inspect(fetch)
@@ -407,7 +414,7 @@ class Supervisor:
                 exc=StageDeadlineExceeded(
                     f"extract stage exceeded its {deadline:g}s deadline"
                 ),
-                payload=body,
+                payload=body, sink=sink,
             )
             return _sentinel_features(body)
         except Exception as exc:  # poison-proof by design
@@ -415,12 +422,13 @@ class Supervisor:
             self.quarantine(
                 ip=fetch.ip, stage=self.EXTRACT,
                 verdict=GuardVerdict.TASK_ERROR, exc=exc, payload=body,
+                sink=sink,
             )
             return _sentinel_features(body)
         if verdict is not GuardVerdict.OK:
             self.quarantine(
                 ip=fetch.ip, stage=self.EXTRACT, verdict=verdict,
-                payload=body,
+                payload=body, sink=sink,
             )
         return features
 
@@ -435,8 +443,15 @@ class Supervisor:
         verdict: GuardVerdict,
         exc: BaseException | None = None,
         payload: str = "",
+        sink: list[QuarantineRecord] | None = None,
     ) -> QuarantineRecord:
-        """Buffer one dead-letter record for the current round."""
+        """Buffer one dead-letter record for the current round.
+
+        With *sink*, the record lands in that caller-owned buffer
+        (pipeline mode journals quarantine per shard); otherwise it
+        joins the supervisor-wide buffer behind
+        :meth:`drain_quarantine`.
+        """
         record = QuarantineRecord(
             ip=ip,
             round_id=self.round_id,
@@ -447,7 +462,7 @@ class Supervisor:
             error=_truncate(str(exc), 200) if exc is not None else None,
             payload=_truncate(payload, self.config.quarantine_payload_bytes),
         )
-        self._quarantine.append(record)
+        (self._quarantine if sink is None else sink).append(record)
         self.quarantined_total += 1
         return record
 
@@ -465,8 +480,10 @@ class Supervisor:
             "tasks_run": self.tasks_run,
             "deadline_kills_fetch": self.deadline_kills[self.FETCH],
             "deadline_kills_extract": self.deadline_kills[self.EXTRACT],
+            "deadline_kills_banner": self.deadline_kills[self.BANNER],
             "trapped_fetch": self.trapped[self.FETCH],
             "trapped_extract": self.trapped[self.EXTRACT],
+            "trapped_banner": self.trapped[self.BANNER],
             "quarantined": self.quarantined_total,
             "concurrency_limit": self.controller.limit,
             "concurrency_min_observed": self.controller.min_observed,

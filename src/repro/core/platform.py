@@ -13,30 +13,46 @@ of work; the round stays ``in_progress`` in the store and a later call
 with ``resume_round_id`` finishes exactly the shards that are missing.
 Round IDs are durable: they continue from ``max(round_id) + 1`` in the
 store rather than resetting to 1 on process start.
+
+With ``PipelineConfig.overlap`` (the default) the shard stages run as
+a streaming pipeline (:mod:`repro.core.pipeline`): shard *N+1* scans
+while *N* fetches and *N−1* extracts, and a writer stage batches
+commits off the hot path.  ``pipeline.overlap=False`` reproduces the
+strictly serial engine; both modes produce identical store contents.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 from .config import PlatformConfig
 from .features import FeatureExtractor
 from .fetcher import Fetcher
-from .guard import Supervisor
+from .guard import GuardVerdict, StageDeadlineExceeded, Supervisor
+from .pipeline import RoundPipeline, ShardWork
 from .records import (
     FetchResult,
     FetchStatus,
+    PipelineStats,
+    Port,
     ProbeOutcome,
     ProbeStatus,
+    QuarantineRecord,
     RoundRecord,
 )
 from .scanner import Scanner
-from .store import MeasurementStore, RoundInfo
-from .transport import Transport
+from .store import MeasurementStore, RoundInfo, ShardPayload
+from .transport import Transport, TransportError
 
 __all__ = ["RoundSummary", "RoundInterrupted", "WhoWas"]
+
+#: ``campaign_meta`` key prefix under which per-round pipeline stats
+#: are persisted as JSON (read back by ``repro stats``).
+PIPELINE_STATS_META_PREFIX = "pipeline_stats:"
 
 
 class RoundInterrupted(Exception):
@@ -71,6 +87,9 @@ class RoundSummary:
     circuit_open: int = 0
     #: Dead-letter entries the supervision layer wrote this round.
     quarantined: int = 0
+    #: Per-stage pipeline telemetry for the run that produced the
+    #: round (None for summaries rebuilt from the store alone).
+    pipeline: PipelineStats | None = None
 
     @property
     def round_id(self) -> int:
@@ -80,6 +99,11 @@ class RoundSummary:
     def degraded(self) -> bool:
         """True when this round blew the platform's error budget."""
         return self.info.degraded
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock seconds the producing run spent on the round."""
+        return self.info.duration_seconds
 
 
 class WhoWas:
@@ -117,6 +141,10 @@ class WhoWas:
         self.fetcher = Fetcher(transport, self.config.fetch, guard=self.guard)
         self.features = FeatureExtractor()
         self._next_round_id = self.store.max_round_id() + 1
+        # run_round's reusable event loop (created on first use); a
+        # fresh loop per round would tear down and rebuild every
+        # loop-bound primitive each round.
+        self._loop: asyncio.AbstractEventLoop | None = None
 
     async def run_round_async(
         self,
@@ -135,11 +163,12 @@ class WhoWas:
         *degraded* in its :class:`RoundInfo` instead of raising.
 
         Targets are processed in shards checkpointed as they commit.
-        When *abort_event* is set, the in-flight shard finishes and the
+        When *abort_event* is set, the in-flight shards finish and the
         round is left ``in_progress`` behind a :class:`RoundInterrupted`.
         Passing *resume_round_id* re-enters such a round: committed
         shards are skipped, so no row is ever duplicated.
         """
+        started = time.perf_counter()
         if resume_round_id is not None:
             round_id = resume_round_id
             info = self.store.begin_round(
@@ -170,21 +199,24 @@ class WhoWas:
             for start in range(0, len(targets), shard_size)
         ] or [targets]
         circuit_before = self.scanner.circuit_open_skips
-        for index, shard in enumerate(shards):
-            if index in done:
-                continue
-            if abort_event is not None and abort_event.is_set():
-                raise RoundInterrupted(
-                    round_id, timestamp,
-                    len(self.store.completed_shards(round_id)), len(shards),
-                )
-            records, errors, operations = await self._run_shard(
-                shard, round_id, timestamp
+        work_items = (
+            ShardWork(index=index, targets=shard)
+            for index, shard in enumerate(shards)
+            if index not in done
+        )
+
+        if self.config.pipeline.overlap:
+            stats, aborted = await self._run_overlapped(
+                work_items, round_id, abort_event
             )
-            self.store.write_shard(
-                round_id, index, records,
-                errors=errors, operations=operations,
-                quarantine=self.guard.drain_quarantine(),
+        else:
+            stats, aborted = await self._run_serial(
+                work_items, round_id, abort_event
+            )
+        if aborted:
+            raise RoundInterrupted(
+                round_id, timestamp,
+                len(self.store.completed_shards(round_id)), len(shards),
             )
 
         errors, operations = self.store.shard_stats(round_id)
@@ -195,37 +227,160 @@ class WhoWas:
             and errors / operations > budget
         )
         info = self.store.finalize_round(
-            round_id, degraded=degraded, error_count=errors
+            round_id, degraded=degraded, error_count=errors,
+            duration_seconds=time.perf_counter() - started,
         )
-        stats = self.store.round_stats(round_id)
+        # Persist the run's pipeline telemetry so `repro stats` can
+        # show it after the process is gone.
+        self.store.set_meta(
+            f"{PIPELINE_STATS_META_PREFIX}{round_id}",
+            json.dumps(stats.to_dict(), sort_keys=True),
+        )
+        round_stats = self.store.round_stats(round_id)
         return RoundSummary(
             info=info,
-            responsive=stats["responsive"],
-            available=stats["available"],
-            fetched=stats["fetched"],
+            responsive=round_stats["responsive"],
+            available=round_stats["available"],
+            fetched=round_stats["fetched"],
             errors=errors,
             circuit_open=self.scanner.circuit_open_skips - circuit_before,
             quarantined=self.store.quarantine_count(round_id),
+            pipeline=stats,
         )
 
-    async def _run_shard(
-        self, shard: Sequence[int], round_id: int, timestamp: int
-    ) -> tuple[list[RoundRecord], int, int]:
-        """Scan/fetch/extract one shard; returns its records plus the
-        shard's classified-error and network-operation counts."""
-        scan_before = self.scanner.stats_snapshot()
-        fetch_before = self.fetcher.stats_snapshot()
+    # ------------------------------------------------------------------
+    # round engines: overlapped (streaming pipeline) and serial
 
-        outcomes = await self.scanner.scan(shard)
-        to_fetch = [o for o in outcomes if o.responsive and o.wants_fetch]
-        fetch_results = await self.fetcher.fetch(to_fetch)
-        fetch_by_ip = {result.ip: result for result in fetch_results}
-        banners: dict[int, str] = {}
+    async def _run_overlapped(
+        self,
+        work_items,
+        round_id: int,
+        abort_event: asyncio.Event | None,
+    ) -> tuple[PipelineStats, bool]:
+        """Stream the shards through :class:`RoundPipeline`."""
+        offload = self.config.pipeline.writer_offload
+
+        async def write_batch(works: list[ShardWork]) -> tuple[int, int]:
+            payloads = [
+                ShardPayload(
+                    work.index, tuple(work.records),
+                    errors=work.errors, operations=work.operations,
+                    quarantine=tuple(work.quarantine),
+                )
+                for work in works
+            ]
+            if offload:
+                committed = await asyncio.to_thread(
+                    self.store.write_shards, round_id, payloads
+                )
+            else:
+                committed = self.store.write_shards(round_id, payloads)
+            return committed, sum(len(p.records) for p in payloads)
+
+        pipeline = RoundPipeline(
+            config=self.config.pipeline,
+            scan=self._scan_shard,
+            fetch=self._fetch_shard,
+            extract=self._extract_shard,
+            write_batch=write_batch,
+            controller=self.guard.controller,
+            abort_event=abort_event,
+        )
+        stats = await pipeline.run(work_items)
+        return stats, pipeline.aborted
+
+    async def _run_serial(
+        self,
+        work_items,
+        round_id: int,
+        abort_event: asyncio.Event | None,
+    ) -> tuple[PipelineStats, bool]:
+        """The escape-hatch engine: one shard at a time, one commit per
+        shard — behaviourally identical to the pre-pipeline platform.
+        Runs the same stage bodies as the overlapped engine so the two
+        can only differ in scheduling, never in measurement semantics.
+        """
+        stats = PipelineStats(mode="serial")
+        begun_round = time.perf_counter()
+        aborted = False
+        for work in work_items:
+            if abort_event is not None and abort_event.is_set():
+                aborted = True
+                break
+            for name, fn in (
+                ("scan", self._scan_shard),
+                ("fetch", self._fetch_shard),
+                ("extract", self._extract_shard),
+            ):
+                stage = stats.stage(name)
+                begun = time.perf_counter()
+                items = await fn(work)
+                stage.busy_seconds += time.perf_counter() - begun
+                stage.shards += 1
+                stage.items += items
+            stage = stats.stage("write")
+            begun = time.perf_counter()
+            committed = self.store.write_shard(
+                round_id, work.index, work.records,
+                errors=work.errors, operations=work.operations,
+                quarantine=work.quarantine,
+            )
+            elapsed = time.perf_counter() - begun
+            stage.busy_seconds += elapsed
+            if committed:
+                stage.shards += 1
+                stage.items += len(work.records)
+                stats.shards_written += 1
+                stats.records_written += len(work.records)
+                stats.writer_flushes += 1
+                stats.writer_flush_seconds += elapsed
+                stats.writer_max_flush_seconds = max(
+                    stats.writer_max_flush_seconds, elapsed
+                )
+                stats.writer_max_batch = max(stats.writer_max_batch, 1)
+        stats.wall_seconds = time.perf_counter() - begun_round
+        return stats, aborted
+
+    # ------------------------------------------------------------------
+    # shard stages (shared by both engines)
+
+    async def _scan_shard(self, work: ShardWork) -> int:
+        """Probe the shard's targets; charges probe errors/operations
+        to the shard.  Counter diffs are safe under overlap because the
+        scan stage processes one shard at a time and no other stage
+        touches the scanner."""
+        before = self.scanner.stats_snapshot()
+        work.outcomes = list(await self.scanner.scan(work.targets))
+        after = self.scanner.stats_snapshot()
+        work.errors += after["probe_errors"] - before["probe_errors"]
+        work.operations += after["probes_sent"] - before["probes_sent"]
+        return len(work.targets)
+
+    async def _fetch_shard(self, work: ShardWork) -> int:
+        """Fetch pages (and SSH banners) for the shard's responsive
+        IPs; dead letters go to the shard's own quarantine sink."""
+        to_fetch = [
+            o for o in work.outcomes if o.responsive and o.wants_fetch
+        ]
+        before = self.fetcher.stats_snapshot()
+        work.fetch_results = await self.fetcher.fetch(
+            to_fetch, quarantine=work.quarantine
+        )
+        after = self.fetcher.stats_snapshot()
         if self.config.grab_ssh_banners:
-            banners = await self._grab_banners(outcomes)
+            work.banners = await self._grab_banners(
+                work.outcomes, quarantine=work.quarantine
+            )
+        work.errors += after["fetch_errors"] - before["fetch_errors"]
+        work.operations += len(to_fetch)
+        return len(to_fetch)
 
+    async def _extract_shard(self, work: ShardWork) -> int:
+        """Build the shard's records, extracting page features under
+        the supervision layer."""
+        fetch_by_ip = {result.ip: result for result in work.fetch_results}
         records: list[RoundRecord] = []
-        for outcome in outcomes:
+        for outcome in work.outcomes:
             if outcome.status is not ProbeStatus.RESPONSIVE:
                 continue
             fetch = fetch_by_ip.get(
@@ -237,29 +392,21 @@ class WhoWas:
                 # Guarded extraction: a poison page yields sentinel
                 # features plus a quarantine entry, never a crash.
                 features = await self.guard.extract_features(
-                    self.features, fetch
+                    self.features, fetch, sink=work.quarantine
                 )
             records.append(RoundRecord(
                 ip=outcome.ip,
-                round_id=round_id,
-                timestamp=timestamp,
+                round_id=self.guard.round_id,
+                timestamp=self.guard.timestamp,
                 probe=outcome,
                 fetch=fetch,
                 features=features,
-                ssh_banner=banners.get(outcome.ip),
+                ssh_banner=work.banners.get(outcome.ip),
             ))
+        work.records = records
+        return len(records)
 
-        scan_after = self.scanner.stats_snapshot()
-        fetch_after = self.fetcher.stats_snapshot()
-        errors = (
-            (scan_after["probe_errors"] - scan_before["probe_errors"])
-            + (fetch_after["fetch_errors"] - fetch_before["fetch_errors"])
-        )
-        operations = (
-            (scan_after["probes_sent"] - scan_before["probes_sent"])
-            + len(to_fetch)
-        )
-        return records, errors, operations
+    # ------------------------------------------------------------------
 
     def run_round(
         self,
@@ -269,34 +416,90 @@ class WhoWas:
         abort_event: asyncio.Event | None = None,
         resume_round_id: int | None = None,
     ) -> RoundSummary:
-        """Synchronous wrapper around :meth:`run_round_async`."""
-        return asyncio.run(self.run_round_async(
+        """Synchronous wrapper around :meth:`run_round_async`.
+
+        Reuses one event loop across rounds (``asyncio.run`` per round
+        would rebuild every loop-bound primitive each time); call
+        :meth:`close` — or use the platform as a context manager — to
+        release it.
+        """
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            raise RuntimeError(
+                "run_round called from a running event loop; "
+                "await run_round_async instead"
+            )
+        if self._loop is None or self._loop.is_closed():
+            self._loop = asyncio.new_event_loop()
+        return self._loop.run_until_complete(self.run_round_async(
             targets, timestamp,
             abort_event=abort_event, resume_round_id=resume_round_id,
         ))
 
-    async def _grab_banners(
-        self, outcomes: Sequence[ProbeOutcome]
-    ) -> dict[int, str]:
-        """Read SSH banners from responsive IPs with port 22 open."""
-        from .records import Port
-        from .transport import TransportError
+    def close(self) -> None:
+        """Release the reusable event loop (idempotent)."""
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.close()
+        self._loop = None
 
+    def __enter__(self) -> "WhoWas":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    async def _grab_banners(
+        self,
+        outcomes: Sequence[ProbeOutcome],
+        *,
+        quarantine: list[QuarantineRecord] | None = None,
+    ) -> dict[int, str]:
+        """Read SSH banners from responsive IPs with port 22 open.
+
+        Runs through the supervisor's bounded work queue under the
+        fetch deadline, so a hung banner read is killed and quarantined
+        instead of stalling the round (the old path was a bare
+        ``asyncio.gather`` with no deadline)."""
         targets = [
             o.ip for o in outcomes
             if o.responsive and Port.SSH in o.open_ports
         ]
-        semaphore = asyncio.Semaphore(self.config.scan.concurrency)
         timeout = self.config.scan.probe_timeout
 
         async def grab(ip: int) -> tuple[int, str | None]:
-            async with semaphore:
-                try:
-                    return ip, await self.transport.banner(ip, 22, timeout)
-                except TransportError:
-                    return ip, None
+            try:
+                return ip, await self.transport.banner(ip, 22, timeout)
+            except TransportError:
+                return ip, None
 
-        results = await asyncio.gather(*(grab(ip) for ip in targets))
+        def fallback(ip: int, exc: BaseException) -> tuple[int, str | None]:
+            verdict = (
+                GuardVerdict.STAGE_DEADLINE
+                if isinstance(exc, StageDeadlineExceeded)
+                else GuardVerdict.TASK_ERROR
+            )
+            self.guard.quarantine(
+                ip=ip, stage=Supervisor.BANNER, verdict=verdict, exc=exc,
+                sink=quarantine,
+            )
+            return ip, None
+
+        results = await self.guard.map(
+            targets,
+            grab,
+            stage=Supervisor.BANNER,
+            deadline=self.guard.config.fetch_deadline,
+            fallback=fallback,
+        )
         return {ip: banner for ip, banner in results if banner}
 
     def history(self, ip: int) -> list[RoundRecord]:

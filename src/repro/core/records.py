@@ -20,6 +20,8 @@ __all__ = [
     "PageFeatures",
     "RoundRecord",
     "QuarantineRecord",
+    "StageStats",
+    "PipelineStats",
     "UNKNOWN",
 ]
 
@@ -235,6 +237,111 @@ class QuarantineRecord:
             entry_id=row["entry_id"] if "entry_id" in keys else None,
             replayed=bool(row["replayed"]) if "replayed" in keys else False,
         )
+
+
+@dataclass
+class StageStats:
+    """Throughput telemetry for one pipeline stage in one round.
+
+    ``busy_seconds`` is time the stage spent actually processing shards
+    (not waiting on its input queue), so ``items / busy_seconds`` is the
+    stage's intrinsic throughput and the stage with the largest
+    ``busy_seconds`` is the round's bottleneck.
+    """
+
+    name: str
+    #: Shards this stage processed.
+    shards: int = 0
+    #: Stage-specific work items (targets scanned, pages fetched,
+    #: records extracted, rows written).
+    items: int = 0
+    #: Wall-clock spent processing (excludes queue waits).
+    busy_seconds: float = 0.0
+    #: High-water mark of the stage's *output* queue (shards buffered
+    #: downstream); 0 in serial mode where nothing is ever queued.
+    queue_peak: int = 0
+    #: Times the stage stalled because its output queue was full — the
+    #: backpressure signal (includes AIMD-shrunk capacity).
+    backpressure_waits: int = 0
+
+    @property
+    def items_per_second(self) -> float:
+        return self.items / self.busy_seconds if self.busy_seconds > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "shards": self.shards,
+            "items": self.items,
+            "busy_seconds": self.busy_seconds,
+            "queue_peak": self.queue_peak,
+            "backpressure_waits": self.backpressure_waits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StageStats":
+        return cls(**dict(data))
+
+
+@dataclass
+class PipelineStats:
+    """Per-round snapshot of the streaming pipeline's behaviour.
+
+    Attached to :class:`~repro.core.platform.RoundSummary` and persisted
+    as JSON in ``campaign_meta`` (key ``pipeline_stats:<round_id>``) so
+    ``repro stats`` can reconstruct the throughput picture later.
+    """
+
+    #: ``"overlapped"`` (streaming stage-parallel) or ``"serial"``.
+    mode: str
+    #: Wall-clock of the whole round body (shard processing + drain).
+    wall_seconds: float = 0.0
+    records_written: int = 0
+    shards_written: int = 0
+    #: Store commits issued by the round's writes.
+    writer_flushes: int = 0
+    #: Total / worst-case time inside those commits.
+    writer_flush_seconds: float = 0.0
+    writer_max_flush_seconds: float = 0.0
+    #: Largest number of shards committed in one batch transaction.
+    writer_max_batch: int = 0
+    stages: dict[str, StageStats] = field(default_factory=dict)
+
+    @property
+    def records_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.records_written / self.wall_seconds
+
+    def stage(self, name: str) -> StageStats:
+        """The named stage's stats, created on first use."""
+        if name not in self.stages:
+            self.stages[name] = StageStats(name=name)
+        return self.stages[name]
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "wall_seconds": self.wall_seconds,
+            "records_written": self.records_written,
+            "shards_written": self.shards_written,
+            "writer_flushes": self.writer_flushes,
+            "writer_flush_seconds": self.writer_flush_seconds,
+            "writer_max_flush_seconds": self.writer_max_flush_seconds,
+            "writer_max_batch": self.writer_max_batch,
+            "stages": {
+                name: stage.to_dict() for name, stage in self.stages.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PipelineStats":
+        payload = dict(data)
+        payload["stages"] = {
+            name: StageStats.from_dict(stage)
+            for name, stage in payload.get("stages", {}).items()
+        }
+        return cls(**payload)
 
 
 @dataclass(frozen=True)

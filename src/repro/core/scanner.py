@@ -13,6 +13,7 @@ tenants who opted out.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Iterable, Sequence
 
 from .config import ScanConfig
@@ -130,6 +131,9 @@ class Scanner:
         self.probe_errors = 0
         #: Targets skipped because their subnet's breaker was open.
         self.circuit_open_skips = 0
+        #: Wall-clock seconds spent inside :meth:`scan` calls (feeds
+        #: the pipeline's per-stage throughput telemetry).
+        self.scan_busy_seconds = 0.0
 
     async def scan_ip(self, ip: int) -> ProbeOutcome:
         """Probe one IP: web ports first, SSH fallback (§4).
@@ -180,7 +184,11 @@ class Scanner:
             async with semaphore:
                 return await self.scan_ip(ip)
 
-        return list(await asyncio.gather(*(bounded(ip) for ip in ips)))
+        started = time.perf_counter()
+        try:
+            return list(await asyncio.gather(*(bounded(ip) for ip in ips)))
+        finally:
+            self.scan_busy_seconds += time.perf_counter() - started
 
     def scan_sync(self, ips: Sequence[int]) -> list[ProbeOutcome]:
         """Convenience wrapper running :meth:`scan` on a fresh event loop."""

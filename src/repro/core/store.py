@@ -38,8 +38,10 @@ campaign back up from the database alone.
 from __future__ import annotations
 
 import sqlite3
+import threading
+import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from .records import PageFeatures, QuarantineRecord, RoundRecord
 
@@ -48,6 +50,7 @@ __all__ = [
     "ROUND_COMPLETE",
     "ROUND_DEGRADED",
     "RoundInfo",
+    "ShardPayload",
     "MeasurementStore",
 ]
 
@@ -107,6 +110,12 @@ class RoundInfo:
     #: a resumed round must reuse it so shard indices line up.
     shard_size: int = 0
 
+    #: Wall-clock seconds the round engine spent producing the round
+    #: (the finalizing invocation's time; a crash-resumed round reports
+    #: the resuming run's duration — earlier attempts' clocks died with
+    #: their process).
+    duration_seconds: float = 0.0
+
     @property
     def table_name(self) -> str:
         return f"round_{self.timestamp:05d}"
@@ -116,11 +125,38 @@ class RoundInfo:
         return self.status == ROUND_IN_PROGRESS
 
 
+@dataclass(frozen=True)
+class ShardPayload:
+    """One shard's worth of data queued for the store writer.
+
+    The batch API (:meth:`MeasurementStore.write_shards`) takes a
+    sequence of these and commits them in a single transaction.
+    """
+
+    shard_index: int
+    records: tuple[RoundRecord, ...]
+    errors: int = 0
+    operations: int = 0
+    quarantine: tuple[QuarantineRecord, ...] = ()
+
+
 class MeasurementStore:
     """sqlite3-backed store with one table per scan round."""
 
     def __init__(self, path: str = ":memory:"):
-        self._conn = sqlite3.connect(path)
+        # The pipeline's writer stage may run batch commits in a worker
+        # thread (PipelineConfig.writer_offload) so fsync never blocks
+        # the event loop; the RLock serialises all connection access.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.RLock()
+        #: Writer telemetry, fed into PipelineStats by the platform.
+        self._writer_stats = {
+            "shard_commits": 0,
+            "flush_count": 0,
+            "flush_seconds": 0.0,
+            "max_flush_seconds": 0.0,
+            "max_batch_shards": 0,
+        }
         self._conn.row_factory = sqlite3.Row
         # WAL keeps committed shards durable across a crash and lets a
         # reader (e.g. `repro report`) inspect a live campaign; sqlite
@@ -136,7 +172,8 @@ class MeasurementStore:
             "  degraded INTEGER NOT NULL DEFAULT 0,"
             "  error_count INTEGER NOT NULL DEFAULT 0,"
             f"  round_status TEXT NOT NULL DEFAULT '{ROUND_COMPLETE}',"
-            "  shard_size INTEGER NOT NULL DEFAULT 0"
+            "  shard_size INTEGER NOT NULL DEFAULT 0,"
+            "  duration_seconds REAL NOT NULL DEFAULT 0"
             ")"
         )
         self._conn.execute(
@@ -206,6 +243,11 @@ class MeasurementStore:
                 "ALTER TABLE rounds ADD COLUMN shard_size "
                 "INTEGER NOT NULL DEFAULT 0"
             )
+        if "duration_seconds" not in existing:
+            self._conn.execute(
+                "ALTER TABLE rounds ADD COLUMN duration_seconds "
+                "REAL NOT NULL DEFAULT 0"
+            )
 
     # ------------------------------------------------------------------
     # journaled writes
@@ -232,41 +274,47 @@ class MeasurementStore:
         timestamp would share a table name and silently clobber each
         other.
         """
-        clash = self._conn.execute(
-            "SELECT round_id FROM rounds WHERE timestamp = ? AND round_id != ?",
-            (timestamp, round_id),
-        ).fetchone()
-        if clash is not None:
-            raise ValueError(
-                f"timestamp {timestamp} already used by round "
-                f"{clash['round_id']}; refusing to clobber its table"
+        with self._lock:
+            clash = self._conn.execute(
+                "SELECT round_id FROM rounds "
+                "WHERE timestamp = ? AND round_id != ?",
+                (timestamp, round_id),
+            ).fetchone()
+            if clash is not None:
+                raise ValueError(
+                    f"timestamp {timestamp} already used by round "
+                    f"{clash['round_id']}; refusing to clobber its table"
+                )
+            row = self._conn.execute(
+                "SELECT round_status FROM rounds WHERE round_id = ?",
+                (round_id,),
+            ).fetchone()
+            table = f"round_{timestamp:05d}"
+            if row is not None:
+                if fresh:
+                    self._conn.execute(f"DROP TABLE IF EXISTS {table}")
+                    self._conn.execute(
+                        "DELETE FROM round_shards WHERE round_id = ?",
+                        (round_id,),
+                    )
+                    self._conn.execute(
+                        "DELETE FROM rounds WHERE round_id = ?", (round_id,)
+                    )
+                elif row["round_status"] == ROUND_IN_PROGRESS:
+                    return self._any_round(round_id)  # resume: keep shards
+                else:
+                    raise ValueError(f"round {round_id} is already finalized")
+            columns_sql = ", ".join(f"{name} {sql}" for name, sql in _COLUMNS)
+            self._conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {table} ({columns_sql})"
             )
-        row = self._conn.execute(
-            "SELECT round_status FROM rounds WHERE round_id = ?", (round_id,)
-        ).fetchone()
-        table = f"round_{timestamp:05d}"
-        if row is not None:
-            if fresh:
-                self._conn.execute(f"DROP TABLE IF EXISTS {table}")
-                self._conn.execute(
-                    "DELETE FROM round_shards WHERE round_id = ?", (round_id,)
-                )
-                self._conn.execute(
-                    "DELETE FROM rounds WHERE round_id = ?", (round_id,)
-                )
-            elif row["round_status"] == ROUND_IN_PROGRESS:
-                return self._any_round(round_id)  # resume: keep shards
-            else:
-                raise ValueError(f"round {round_id} is already finalized")
-        columns_sql = ", ".join(f"{name} {sql}" for name, sql in _COLUMNS)
-        self._conn.execute(f"CREATE TABLE IF NOT EXISTS {table} ({columns_sql})")
-        self._conn.execute(
-            "INSERT INTO rounds VALUES (?, ?, ?, 0, 0, 0, ?, ?)",
-            (round_id, timestamp, targets_probed, ROUND_IN_PROGRESS,
-             shard_size),
-        )
-        self._conn.commit()
-        return self._any_round(round_id)
+            self._conn.execute(
+                "INSERT INTO rounds VALUES (?, ?, ?, 0, 0, 0, ?, ?, 0)",
+                (round_id, timestamp, targets_probed, ROUND_IN_PROGRESS,
+                 shard_size),
+            )
+            self._conn.commit()
+            return self._any_round(round_id)
 
     def write_shard(
         self,
@@ -288,10 +336,70 @@ class MeasurementStore:
         shard back, and the committed-shard skip covers quarantine
         entries too (no duplicates on resume).
         """
-        info = self._open_round(round_id)
+        with self._lock:
+            info = self._open_round(round_id)
+            started = time.perf_counter()
+            try:
+                committed = self._insert_shard(
+                    info, shard_index, records,
+                    errors=errors, operations=operations,
+                    quarantine=quarantine,
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+            if committed:
+                self._note_flush(1, time.perf_counter() - started)
+            return committed
+
+    def write_shards(
+        self, round_id: int, shards: Sequence[ShardPayload]
+    ) -> int:
+        """Commit a batch of shards in **one** transaction.
+
+        The pipeline's store-writer stage uses this to amortise commit
+        (fsync) cost: begin / executemany per shard / single commit.
+        Per-shard idempotence is preserved — already-committed shard
+        indices inside the batch are skipped, exactly as in
+        :meth:`write_shard` — and an error rolls the whole batch back,
+        so a crash mid-batch loses at most the batch, never half a
+        shard.  Returns the number of shards actually committed.
+        """
+        with self._lock:
+            info = self._open_round(round_id)
+            started = time.perf_counter()
+            committed = 0
+            try:
+                for shard in shards:
+                    committed += self._insert_shard(
+                        info, shard.shard_index, shard.records,
+                        errors=shard.errors, operations=shard.operations,
+                        quarantine=shard.quarantine,
+                    )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+            if committed:
+                self._note_flush(committed, time.perf_counter() - started)
+            return committed
+
+    def _insert_shard(
+        self,
+        info: RoundInfo,
+        shard_index: int,
+        records: Iterable[RoundRecord],
+        *,
+        errors: int,
+        operations: int,
+        quarantine: Iterable[QuarantineRecord],
+    ) -> bool:
+        """Stage one shard's inserts on the open transaction (no
+        commit); returns False for an already-committed shard index."""
         already = self._conn.execute(
             "SELECT 1 FROM round_shards WHERE round_id = ? AND shard_index = ?",
-            (round_id, shard_index),
+            (info.round_id, shard_index),
         ).fetchone()
         if already is not None:
             return False
@@ -319,10 +427,25 @@ class MeasurementStore:
         )
         self._conn.execute(
             "INSERT INTO round_shards VALUES (?, ?, ?, ?, ?)",
-            (round_id, shard_index, len(rows), errors, operations),
+            (info.round_id, shard_index, len(rows), errors, operations),
         )
-        self._conn.commit()
         return True
+
+    def _note_flush(self, batch_shards: int, seconds: float) -> None:
+        stats = self._writer_stats
+        stats["shard_commits"] += batch_shards
+        stats["flush_count"] += 1
+        stats["flush_seconds"] += seconds
+        stats["max_flush_seconds"] = max(stats["max_flush_seconds"], seconds)
+        stats["max_batch_shards"] = max(stats["max_batch_shards"],
+                                        batch_shards)
+
+    def writer_stats_snapshot(self) -> dict[str, float]:
+        """Lifetime writer-flush telemetry (commit counts/latency) —
+        the platform diffs two snapshots to attribute flushes to one
+        round's :class:`~repro.core.records.PipelineStats`."""
+        with self._lock:
+            return dict(self._writer_stats)
 
     def finalize_round(
         self,
@@ -330,32 +453,38 @@ class MeasurementStore:
         *,
         degraded: bool = False,
         error_count: int | None = None,
+        duration_seconds: float = 0.0,
     ) -> RoundInfo:
         """Seal an open round: count its rows, build the IP index, and
         flip the status to ``complete``/``degraded``.  *error_count*
-        defaults to the sum journaled by :meth:`write_shard`."""
-        info = self._open_round(round_id)
-        if error_count is None:
-            error_count = self.shard_stats(round_id)[0]
-        responsive = self._conn.execute(
-            f"SELECT COUNT(*) FROM {info.table_name}"
-        ).fetchone()[0]
-        table = info.table_name
-        self._conn.execute(
-            f"CREATE INDEX IF NOT EXISTS idx_{table}_ip ON {table} (ip)"
-        )
-        status = ROUND_DEGRADED if degraded else ROUND_COMPLETE
-        self._conn.execute(
-            "UPDATE rounds SET responsive_count = ?, degraded = ?,"
-            " error_count = ?, round_status = ? WHERE round_id = ?",
-            (responsive, int(degraded), error_count, status, round_id),
-        )
-        self._conn.commit()
-        return RoundInfo(
-            round_id, info.timestamp, info.targets_probed, responsive,
-            degraded=degraded, error_count=error_count, status=status,
-            shard_size=info.shard_size,
-        )
+        defaults to the sum journaled by :meth:`write_shard`;
+        *duration_seconds* records the producing run's wall clock."""
+        with self._lock:
+            info = self._open_round(round_id)
+            if error_count is None:
+                error_count = self.shard_stats(round_id)[0]
+            responsive = self._conn.execute(
+                f"SELECT COUNT(*) FROM {info.table_name}"
+            ).fetchone()[0]
+            table = info.table_name
+            self._conn.execute(
+                f"CREATE INDEX IF NOT EXISTS idx_{table}_ip ON {table} (ip)"
+            )
+            status = ROUND_DEGRADED if degraded else ROUND_COMPLETE
+            self._conn.execute(
+                "UPDATE rounds SET responsive_count = ?, degraded = ?,"
+                " error_count = ?, round_status = ?, duration_seconds = ?"
+                " WHERE round_id = ?",
+                (responsive, int(degraded), error_count, status,
+                 float(duration_seconds), round_id),
+            )
+            self._conn.commit()
+            return RoundInfo(
+                round_id, info.timestamp, info.targets_probed, responsive,
+                degraded=degraded, error_count=error_count, status=status,
+                shard_size=info.shard_size,
+                duration_seconds=float(duration_seconds),
+            )
 
     def write_round(
         self,
@@ -519,12 +648,13 @@ class MeasurementStore:
 
     def set_meta(self, key: str, value: str) -> None:
         """Persist one campaign-level key/value pair (upsert)."""
-        self._conn.execute(
-            "INSERT INTO campaign_meta VALUES (?, ?) "
-            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
-            (key, value),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO campaign_meta VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (key, value),
+            )
+            self._conn.commit()
 
     def get_meta(self, key: str, default: str | None = None) -> str | None:
         row = self._conn.execute(
@@ -541,7 +671,7 @@ class MeasurementStore:
 
     _ROUND_COLUMNS = (
         "round_id, timestamp, targets_probed, responsive_count, "
-        "degraded, error_count, round_status, shard_size"
+        "degraded, error_count, round_status, shard_size, duration_seconds"
     )
 
     @staticmethod
@@ -551,6 +681,7 @@ class MeasurementStore:
             row["responsive_count"],
             degraded=bool(row["degraded"]), error_count=row["error_count"],
             status=row["round_status"], shard_size=row["shard_size"],
+            duration_seconds=row["duration_seconds"],
         )
 
     def rounds(self) -> list[RoundInfo]:

@@ -1,0 +1,513 @@
+"""Streaming pipeline: ordering, backpressure, batching, equivalence.
+
+The contract under test: the overlapped engine
+(``PipelineConfig.overlap=True``, the default) must be byte-equivalent
+to the serial escape hatch for every store-visible artefact — record
+rows, round metadata, shard journal, quarantine entries (as a multiset;
+only their insertion order within a shard may differ) — including runs
+interrupted mid-round and resumed.  Plus unit coverage of the queue and
+pipeline primitives and the new telemetry surfaces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    FaultyTransport,
+    MeasurementStore,
+    RoundInterrupted,
+    WhoWas,
+    hostile_plan,
+)
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import (
+    BoundedShardQueue,
+    RoundPipeline,
+    ShardWork,
+    _DONE,
+)
+from repro.core.platform import PIPELINE_STATS_META_PREFIX
+from repro.core.records import PipelineStats, StageStats
+from repro.workloads import Campaign, CampaignInterrupted, ec2_scenario
+from test_recovery import (
+    SCENARIO_PARAMS,
+    AbortTrigger,
+    CrashOnFault,
+    db_snapshot,
+    small_config,
+)
+
+
+def overlap_config(overlap: bool, **pipeline_overrides):
+    return small_config(
+        pipeline=PipelineConfig(overlap=overlap, **pipeline_overrides)
+    )
+
+
+def quarantine_snapshot(path: str):
+    """The quarantine table as a sorted multiset — insertion order
+    within a shard is scheduling-dependent (fetch completion order),
+    so equivalence is up to ordering."""
+    conn = sqlite3.connect(path)
+    rows = conn.execute(
+        "SELECT round_id, ip, timestamp, stage, verdict, error_class,"
+        " payload, replayed FROM quarantine"
+    ).fetchall()
+    conn.close()
+    return sorted(rows)
+
+
+def hostile_campaign(path: str, *, overlap: bool, interrupt=None):
+    """Run the standard small campaign with hostile chaos content in
+    the requested engine mode; returns the campaign result."""
+    scenario = ec2_scenario(**SCENARIO_PARAMS)
+    scenario.transport = FaultyTransport(
+        scenario.transport, hostile_plan(13, rate=0.2)
+    )
+    if interrupt is not None:
+        scenario.transport = interrupt(scenario.transport)
+    store = MeasurementStore(path)
+    try:
+        return Campaign(
+            scenario, store=store, config=overlap_config(overlap)
+        ).run()
+    finally:
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# BoundedShardQueue
+
+
+class FakeLimiter:
+    def __init__(self, limit: int, max_limit: int):
+        self.limit = limit
+        self.max_limit = max_limit
+
+
+class TestBoundedShardQueue:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_fifo_order(self):
+        async def scenario():
+            queue = BoundedShardQueue(4)
+            for i in range(3):
+                await queue.put(i)
+            return [await queue.get() for _ in range(3)]
+
+        assert self.run(scenario()) == [0, 1, 2]
+
+    def test_put_blocks_at_capacity_until_get(self):
+        async def scenario():
+            queue = BoundedShardQueue(1)
+            await queue.put("a")
+            putter = asyncio.create_task(queue.put("b"))
+            await asyncio.sleep(0)
+            assert not putter.done()          # parked: queue is full
+            assert await queue.get() == "a"
+            await asyncio.wait_for(putter, 1)
+            return queue.put_waits, queue.peak
+
+        put_waits, peak = self.run(scenario())
+        assert put_waits == 1
+        assert peak == 1
+
+    def test_aimd_limiter_scales_capacity(self):
+        limiter = FakeLimiter(limit=250, max_limit=250)
+        queue = BoundedShardQueue(4, limiter=limiter)
+        assert queue.capacity() == 4
+        limiter.limit = 125
+        assert queue.capacity() == 2
+        limiter.limit = 8           # deep AIMD backoff
+        assert queue.capacity() == 1        # floor: progress guaranteed
+        limiter.limit = 250
+        assert queue.capacity() == 4        # recovers with the window
+
+    def test_done_marker_is_exempt_from_capacity(self):
+        async def scenario():
+            queue = BoundedShardQueue(1)
+            await queue.put("work")
+            # The end-of-stream marker must never deadlock behind a
+            # full queue.
+            await asyncio.wait_for(queue.put(_DONE), 1)
+            return await queue.get(), await queue.get()
+
+        item, done = self.run(scenario())
+        assert item == "work" and done is _DONE
+
+    def test_try_get_never_waits(self):
+        async def scenario():
+            queue = BoundedShardQueue(2)
+            empty = await queue.try_get()
+            await queue.put("x")
+            return empty, await queue.try_get()
+
+        empty, item = self.run(scenario())
+        assert empty is not item and item == "x"
+
+
+# ----------------------------------------------------------------------
+# RoundPipeline unit behaviour (stub stages)
+
+
+def _noop_stage():
+    async def stage(work: ShardWork) -> int:
+        return 1
+    return stage
+
+
+def _collecting_writer(committed: list, *, delay: float = 0.0):
+    async def write_batch(batch):
+        committed.extend(work.index for work in batch)
+        if delay:
+            await asyncio.sleep(delay)
+        return len(batch), sum(len(w.records) for w in batch)
+    return write_batch
+
+
+class TestRoundPipeline:
+    def _pipeline(self, committed, *, config=None, delay=0.0, **kwargs):
+        return RoundPipeline(
+            config=config or PipelineConfig(),
+            scan=kwargs.pop("scan", _noop_stage()),
+            fetch=kwargs.pop("fetch", _noop_stage()),
+            extract=kwargs.pop("extract", _noop_stage()),
+            write_batch=_collecting_writer(committed, delay=delay),
+            **kwargs,
+        )
+
+    def test_commits_every_shard_in_order(self):
+        committed: list[int] = []
+        works = [ShardWork(index=i, targets=[i]) for i in range(10)]
+        pipeline = self._pipeline(committed)
+        stats = asyncio.run(pipeline.run(iter(works)))
+        assert committed == list(range(10))
+        assert stats.shards_written == 10
+        assert stats.stage("scan").shards == 10
+
+    def test_writer_batches_when_store_is_slow(self):
+        committed: list[int] = []
+        works = [ShardWork(index=i, targets=[i]) for i in range(12)]
+        pipeline = self._pipeline(committed, delay=0.02)
+        stats = asyncio.run(pipeline.run(iter(works)))
+        assert committed == list(range(12))    # batching never reorders
+        assert stats.writer_max_batch > 1      # commits amortised
+        assert stats.writer_flushes < 12
+
+    def test_stage_failure_drains_earlier_shards_then_raises(self):
+        committed: list[int] = []
+
+        async def fetch(work: ShardWork) -> int:
+            if work.index == 2:
+                raise RuntimeError("boom on shard 2")
+            return 1
+
+        pipeline = self._pipeline(committed, fetch=fetch)
+        works = [ShardWork(index=i, targets=[i]) for i in range(6)]
+        with pytest.raises(RuntimeError, match="boom on shard 2"):
+            asyncio.run(pipeline.run(iter(works)))
+        # Serial crash equivalence: everything before the failing
+        # shard committed, nothing at or after it did.
+        assert committed == [0, 1]
+
+    def test_abort_stops_feeding_and_drains_in_flight(self):
+        committed: list[int] = []
+        event = asyncio.Event()
+
+        async def scenario():
+            async def scan(work: ShardWork) -> int:
+                if work.index == 1:
+                    event.set()
+                return 1
+
+            pipeline = self._pipeline(
+                committed, scan=scan, abort_event=event,
+            )
+            works = [ShardWork(index=i, targets=[i]) for i in range(50)]
+            await pipeline.run(iter(works))
+            return pipeline.aborted
+
+        aborted = asyncio.run(scenario())
+        assert aborted
+        # Everything fed before the abort drained and committed; the
+        # tail of the round was never started.
+        assert committed == sorted(committed)
+        assert 0 < len(committed) < 50
+
+    def test_backpressure_telemetry_counts_producer_stalls(self):
+        committed: list[int] = []
+
+        async def slow_extract(work: ShardWork) -> int:
+            await asyncio.sleep(0.005)
+            return 1
+
+        pipeline = self._pipeline(
+            committed,
+            extract=slow_extract,
+            config=PipelineConfig(scan_queue_depth=1, extract_queue_depth=1),
+        )
+        works = [ShardWork(index=i, targets=[i]) for i in range(8)]
+        stats = asyncio.run(pipeline.run(iter(works)))
+        # The fast upstream stages must have stalled on the slow
+        # extract stage's input queue at least once.
+        assert stats.stage("fetch").backpressure_waits > 0
+        assert stats.stage("fetch").queue_peak >= 1
+
+
+# ----------------------------------------------------------------------
+# engine equivalence: overlapped vs serial store contents
+
+
+class TestEngineEquivalence:
+    def test_hostile_chaos_campaign_is_byte_equivalent(self, tmp_path):
+        """Full campaign with network faults + hostile content: rows,
+        rounds and quarantine (sorted) identical across engines."""
+        overlapped = str(tmp_path / "overlap.sqlite")
+        serial = str(tmp_path / "serial.sqlite")
+        hostile_campaign(overlapped, overlap=True)
+        hostile_campaign(serial, overlap=False)
+
+        assert db_snapshot(overlapped) == db_snapshot(serial)
+        q_overlapped = quarantine_snapshot(overlapped)
+        assert q_overlapped == quarantine_snapshot(serial)
+        assert q_overlapped, "hostile storm produced no quarantine rows"
+
+    def test_abort_resume_overlapped_matches_serial_reference(
+        self, tmp_path
+    ):
+        """Mid-round SIGINT while the pipeline is streaming, then
+        resume: the healed database equals an uninterrupted serial
+        run — including the interrupted round's quarantine."""
+        serial = str(tmp_path / "serial.sqlite")
+        hostile_campaign(serial, overlap=False)
+
+        aborted = str(tmp_path / "aborted.sqlite")
+        event = asyncio.Event()
+        store = MeasurementStore(aborted)
+        scenario = ec2_scenario(**SCENARIO_PARAMS)
+        scenario.transport = FaultyTransport(
+            scenario.transport, hostile_plan(13, rate=0.2)
+        )
+        scenario.transport = AbortTrigger(
+            scenario.transport, event, round_id=2, after_probes=100
+        )
+        with pytest.raises(CampaignInterrupted):
+            Campaign(
+                scenario, store=store, config=overlap_config(True)
+            ).run(abort_event=event)
+        store.close()
+
+        reopened = MeasurementStore(aborted)
+        scenario = ec2_scenario(**SCENARIO_PARAMS)
+        scenario.transport = FaultyTransport(
+            scenario.transport, hostile_plan(13, rate=0.2)
+        )
+        Campaign(
+            scenario, store=reopened, config=overlap_config(True)
+        ).resume()
+        reopened.close()
+
+        assert db_snapshot(aborted) == db_snapshot(serial)
+        assert quarantine_snapshot(aborted) == quarantine_snapshot(serial)
+
+    def test_crash_resume_serial_matches_overlapped_reference(
+        self, tmp_path
+    ):
+        """Cross-mode healing: crash an overlapped run mid-round, then
+        resume it with the *serial* engine — still byte-equivalent to
+        an uninterrupted overlapped run."""
+        reference = str(tmp_path / "reference.sqlite")
+        hostile_campaign(reference, overlap=True)
+
+        crashed = str(tmp_path / "crashed.sqlite")
+        from repro.core import FaultKind, FaultPlan, FaultRule
+
+        victim = ec2_scenario(**SCENARIO_PARAMS).targets[140]
+        plan = FaultPlan(seed=1, rules=(
+            FaultRule(FaultKind.CONNECT_TIMEOUT, ips={victim}, rounds={2}),
+        ))
+        store = MeasurementStore(crashed)
+        scenario = ec2_scenario(**SCENARIO_PARAMS)
+        scenario.transport = FaultyTransport(
+            scenario.transport, hostile_plan(13, rate=0.2)
+        )
+        scenario.transport = CrashOnFault(scenario.transport, plan)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            Campaign(
+                scenario, store=store, config=overlap_config(True)
+            ).run()
+        del store
+
+        reopened = MeasurementStore(crashed)
+        scenario = ec2_scenario(**SCENARIO_PARAMS)
+        scenario.transport = FaultyTransport(
+            scenario.transport, hostile_plan(13, rate=0.2)
+        )
+        Campaign(
+            scenario, store=reopened, config=overlap_config(False)
+        ).resume()
+        reopened.close()
+
+        assert db_snapshot(crashed) == db_snapshot(reference)
+        assert quarantine_snapshot(crashed) == quarantine_snapshot(reference)
+
+
+# ----------------------------------------------------------------------
+# telemetry surfaces: RoundSummary.pipeline, persisted stats, duration
+
+
+class TestTelemetry:
+    def _one_round(self, tmp_path, overlap: bool):
+        path = str(tmp_path / f"round-{overlap}.sqlite")
+        scenario = ec2_scenario(total_ips=256, seed=5, duration_days=3)
+        store = MeasurementStore(path)
+        platform = WhoWas(
+            scenario.transport, store=store, config=overlap_config(overlap)
+        )
+        summary = platform.run_round(
+            list(scenario.targets), timestamp=scenario.scan_days[0]
+        )
+        return path, store, platform, summary
+
+    def test_round_summary_carries_pipeline_stats(self, tmp_path):
+        _, store, platform, summary = self._one_round(tmp_path, True)
+        stats = summary.pipeline
+        assert stats is not None and stats.mode == "overlapped"
+        assert set(stats.stages) == {"scan", "fetch", "extract", "write"}
+        assert stats.records_written == summary.responsive
+        assert stats.shards_written == 4            # 256 IPs / 64
+        assert stats.wall_seconds > 0
+        assert stats.stage("scan").items == 256
+        platform.close()
+        store.close()
+
+    def test_serial_mode_reports_serial_stats(self, tmp_path):
+        _, store, platform, summary = self._one_round(tmp_path, False)
+        assert summary.pipeline.mode == "serial"
+        assert summary.pipeline.writer_max_batch == 1
+        assert summary.pipeline.records_written == summary.responsive
+        platform.close()
+        store.close()
+
+    def test_stats_persisted_to_campaign_meta(self, tmp_path):
+        _, store, platform, summary = self._one_round(tmp_path, True)
+        raw = store.get_meta(
+            f"{PIPELINE_STATS_META_PREFIX}{summary.round_id}"
+        )
+        assert raw is not None
+        restored = PipelineStats.from_dict(json.loads(raw))
+        assert restored.mode == "overlapped"
+        assert restored.records_written == summary.responsive
+        assert restored.stage("write").shards == 4
+        platform.close()
+        store.close()
+
+    def test_duration_seconds_persisted_on_round_info(self, tmp_path):
+        path, store, platform, summary = self._one_round(tmp_path, True)
+        assert summary.duration_seconds > 0
+        store.close()
+        platform.close()
+        reopened = MeasurementStore(path)
+        info = reopened.round_info(summary.round_id)
+        assert info.duration_seconds == pytest.approx(
+            summary.duration_seconds
+        )
+        reopened.close()
+
+    def test_stage_stats_roundtrip(self):
+        stats = PipelineStats(mode="overlapped")
+        stage = stats.stage("scan")
+        stage.shards, stage.items, stage.busy_seconds = 3, 192, 0.5
+        stats.records_written = 60
+        stats.wall_seconds = 2.0
+        restored = PipelineStats.from_dict(stats.to_dict())
+        assert restored == stats
+        assert restored.records_per_second == 30.0
+        assert isinstance(restored.stage("scan"), StageStats)
+        assert restored.stage("scan").items_per_second == pytest.approx(384)
+
+    def test_writer_offload_escape_hatch(self, tmp_path):
+        """writer_offload=False keeps commits on the event loop —
+        identical contents, no worker thread."""
+        inline = str(tmp_path / "inline.sqlite")
+        scenario = ec2_scenario(**SCENARIO_PARAMS)
+        store = MeasurementStore(inline)
+        Campaign(
+            scenario, store=store,
+            config=overlap_config(True, writer_offload=False),
+        ).run()
+        store.close()
+        threaded = str(tmp_path / "threaded.sqlite")
+        hostile = None  # plain scenario on both sides
+        scenario = ec2_scenario(**SCENARIO_PARAMS)
+        store = MeasurementStore(threaded)
+        Campaign(scenario, store=store, config=overlap_config(True)).run()
+        store.close()
+        assert db_snapshot(inline) == db_snapshot(threaded)
+
+    def test_run_round_reuses_one_event_loop(self):
+        scenario = ec2_scenario(total_ips=64, seed=5, duration_days=6)
+        platform = WhoWas(scenario.transport, config=small_config())
+        platform.run_round(list(scenario.targets), timestamp=0)
+        loop = platform._loop
+        assert loop is not None and not loop.is_closed()
+        platform.run_round(list(scenario.targets), timestamp=1)
+        assert platform._loop is loop        # same loop, not a fresh one
+        platform.close()
+        assert loop.is_closed()
+
+    def test_shard_commit_order_is_shard_order(self, tmp_path):
+        path, store, platform, summary = self._one_round(tmp_path, True)
+        conn = sqlite3.connect(path)
+        order = [
+            row[0] for row in conn.execute(
+                "SELECT shard_index FROM round_shards "
+                "WHERE round_id = ? ORDER BY rowid",
+                (summary.round_id,),
+            )
+        ]
+        conn.close()
+        assert order == sorted(order) == [0, 1, 2, 3]
+        platform.close()
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# CLI: repro rounds / repro stats
+
+
+class TestCli:
+    @pytest.fixture()
+    def campaign_db(self, tmp_path):
+        path = str(tmp_path / "cli.sqlite")
+        scenario = ec2_scenario(total_ips=256, seed=5, duration_days=6)
+        store = MeasurementStore(path)
+        Campaign(scenario, store=store, config=small_config()).run()
+        store.close()
+        return path
+
+    def test_rounds_lists_durations(self, campaign_db, capsys):
+        assert main(["rounds", campaign_db]) == 0
+        out = capsys.readouterr().out
+        assert "duration" in out
+        assert "complete" in out
+
+    def test_stats_shows_stage_throughput(self, campaign_db, capsys):
+        assert main(["stats", campaign_db]) == 0
+        out = capsys.readouterr().out
+        assert "overlapped" in out
+        for stage in ("scan", "fetch", "extract", "write"):
+            assert stage in out
+        assert "rec/s" in out
+
+    def test_stats_single_round_and_missing_round(self, campaign_db, capsys):
+        assert main(["stats", campaign_db, "--round", "1"]) == 0
+        assert "round 1" in capsys.readouterr().out
+        assert main(["stats", campaign_db, "--round", "99"]) == 1

@@ -28,7 +28,12 @@ from repro.core import (
     WhoWas,
     chaos_plan,
 )
-from repro.core.config import FetchConfig, PlatformConfig, ScanConfig
+from repro.core.config import (
+    FetchConfig,
+    PipelineConfig,
+    PlatformConfig,
+    ScanConfig,
+)
 from repro.core.records import ProbeStatus
 from repro.core.store import ROUND_COMPLETE, ROUND_IN_PROGRESS
 from repro.core.transport import ConnectionRefused
@@ -450,6 +455,18 @@ def reference_db(tmp_path, name="reference.sqlite") -> str:
 
 
 class TestCampaignCrashRecovery:
+    def test_serial_escape_hatch_matches_overlapped_engine(self, tmp_path):
+        """pipeline.overlap=False reproduces the streaming engine's
+        store byte-for-byte over a full campaign."""
+        reference = reference_db(tmp_path)       # overlap=True default
+        serial = str(tmp_path / "serial.sqlite")
+        Campaign(
+            ec2_scenario(**SCENARIO_PARAMS),
+            store=MeasurementStore(serial),
+            config=small_config(pipeline=PipelineConfig(overlap=False)),
+        ).run()
+        assert db_snapshot(serial) == db_snapshot(reference)
+
     def test_crash_mid_shard_then_resume_is_byte_equivalent(self, tmp_path):
         reference = reference_db(tmp_path)
 
