@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test chaos bench bench-smoke all
+.PHONY: test chaos slow bench bench-smoke all
 
 # Tier-1: the fast suite (the chaos storm matrix is deselected by the
 # `-m 'not chaos'` default in pyproject.toml).
@@ -16,13 +16,23 @@ test:
 chaos:
 	$(PYTHON) -m pytest -q -m chaos $(PYTEST_ARGS)
 
+# Paper-scale clustering property/equivalence matrix (tier-1 runs a
+# reduced version; nightly runs this full one).
+slow:
+	$(PYTHON) -m pytest -q -m slow $(PYTEST_ARGS)
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Quick serial-vs-overlapped round-pipeline throughput comparison;
-# regenerates BENCH_pipeline.json at the repo root.
+# Quick serial-vs-overlapped round-pipeline throughput comparison plus
+# an indexed-vs-exact clustering scaling spot check; regenerates
+# BENCH_pipeline.json at the repo root (the committed
+# BENCH_clustering.json comes from the full `--sizes 100000 1000000`
+# run documented in benchmarks/bench_clustering_scale.py).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_pipeline_throughput.py --ips 512 \
 		--latency 0.02 --out BENCH_pipeline.json
+	$(PYTHON) benchmarks/bench_clustering_scale.py --sizes 20000 \
+		--exact-cap 20000 --out /tmp/BENCH_clustering_smoke.json
 
 all: test chaos

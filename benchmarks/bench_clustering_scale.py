@@ -1,0 +1,182 @@
+"""Clustering at scale: banded-LSH index vs brute-force all-pairs.
+
+Single-linkage simhash clustering is the §5 bottleneck: brute force
+compares every pair (O(n²) Hamming distances), while the banded index
+only confirms candidates that collide on at least one of the
+``threshold + 1`` disjoint bands — with 100% recall by pigeonhole, so
+both paths produce *identical* partitions.  This bench times
+``cluster_by_threshold(exact=True)`` against ``exact=False`` over
+synthetic corpora with planted near-duplicate structure (WhoWas-shaped:
+a few hundred distinct deployments, many perturbed revisions each) and
+verifies partition equality wherever the exact path is affordable.
+
+Run standalone to (re)generate the committed results file::
+
+    python benchmarks/bench_clustering_scale.py \
+        --sizes 100000 1000000 --out BENCH_clustering.json
+
+Above ``--exact-cap`` the brute-force run is skipped (at 1M records it
+would need ~5 × 10¹¹ distance computations) and the exact time is
+extrapolated quadratically from the largest measured size.  Also
+collected by pytest as a smoke test (small scale, loose bound).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone execution without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.gap_statistic import cluster_by_threshold
+from repro.core.simhash import HASH_BITS
+
+DEFAULT_SIZES = [100_000, 1_000_000]
+DEFAULT_EXACT_CAP = 100_000
+DEFAULT_THRESHOLD = 4
+
+
+def synthetic_corpus(size: int, *, seed: int,
+                     revisions: int = 64, max_flips: int = 3) -> list[int]:
+    """WhoWas-shaped fingerprint population.
+
+    ``size / revisions`` independent base pages, each observed as a run
+    of revisions within ``max_flips`` bit flips of the base — the same
+    planted-cluster shape the §5 funnel sees (distinct deployments far
+    apart, their revisions within the merge threshold).
+    """
+    rng = random.Random(seed)
+    hashes: list[int] = []
+    while len(hashes) < size:
+        base = rng.getrandbits(HASH_BITS)
+        for _ in range(min(rng.randint(1, revisions), size - len(hashes))):
+            value = base
+            for position in rng.sample(range(HASH_BITS),
+                                       rng.randint(0, max_flips)):
+                value ^= 1 << position
+            hashes.append(value)
+    return hashes
+
+
+def _canonical(clusters: list[list[int]]) -> list[tuple[int, ...]]:
+    return sorted(tuple(sorted(members)) for members in clusters)
+
+
+def run_size(size: int, *, threshold: int, seed: int,
+             exact_cap: int) -> dict:
+    """Time both paths at one corpus size; verify equality if both ran."""
+    hashes = synthetic_corpus(size, seed=seed)
+
+    started = time.perf_counter()
+    indexed = cluster_by_threshold(hashes, threshold, exact=False)
+    indexed_seconds = time.perf_counter() - started
+
+    row: dict = {
+        "records": size,
+        "clusters": len(indexed),
+        "indexed_seconds": round(indexed_seconds, 3),
+    }
+    if size <= exact_cap:
+        started = time.perf_counter()
+        exact = cluster_by_threshold(hashes, threshold, exact=True)
+        exact_seconds = time.perf_counter() - started
+        if _canonical(exact) != _canonical(indexed):
+            raise AssertionError(
+                f"partition mismatch at n={size}: indexed clustering "
+                "diverged from brute force"
+            )
+        row["exact_seconds"] = round(exact_seconds, 3)
+        row["speedup"] = round(exact_seconds / indexed_seconds, 1)
+        row["partitions_identical"] = True
+    else:
+        row["exact_seconds"] = None
+        row["speedup"] = None
+        row["partitions_identical"] = None
+    return row
+
+
+def run_benchmark(sizes: list[int], *, threshold: int = DEFAULT_THRESHOLD,
+                  seed: int = 20140805,
+                  exact_cap: int = DEFAULT_EXACT_CAP) -> dict:
+    rows = [
+        run_size(size, threshold=threshold, seed=seed, exact_cap=exact_cap)
+        for size in sorted(sizes)
+    ]
+    # Extrapolate the skipped brute-force runs quadratically from the
+    # largest measured size, so the asymptotic gap is visible in the
+    # committed table without a week-long run.
+    measured = [r for r in rows if r["exact_seconds"] is not None]
+    if measured:
+        anchor = measured[-1]
+        for row in rows:
+            if row["exact_seconds"] is None:
+                scale = (row["records"] / anchor["records"]) ** 2
+                projected = anchor["exact_seconds"] * scale
+                row["exact_seconds_projected"] = round(projected, 1)
+                row["speedup_projected"] = round(
+                    projected / row["indexed_seconds"], 1
+                )
+    return {
+        "benchmark": "clustering_scale",
+        "hash_bits": HASH_BITS,
+        "threshold": threshold,
+        "bands": threshold + 1,
+        "seed": seed,
+        "sizes": rows,
+    }
+
+
+def test_indexed_beats_exact_smoke():
+    """Small-scale smoke: identical partitions, and the index must
+    already clearly win at 20k records (loose bound; the asymptotic
+    gap at 100k+ lives in the committed BENCH_clustering.json)."""
+    result = run_benchmark([20_000], exact_cap=20_000)
+    row = result["sizes"][0]
+    assert row["partitions_identical"] is True
+    assert row["speedup"] >= 2.0, row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=DEFAULT_SIZES)
+    parser.add_argument("--threshold", type=int, default=DEFAULT_THRESHOLD,
+                        help="single-linkage merge threshold in bits")
+    parser.add_argument("--seed", type=int, default=20140805)
+    parser.add_argument("--exact-cap", type=int, default=DEFAULT_EXACT_CAP,
+                        help="largest size at which brute force still runs")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON result here (default: stdout)")
+    args = parser.parse_args(argv)
+    result = run_benchmark(
+        args.sizes, threshold=args.threshold,
+        seed=args.seed, exact_cap=args.exact_cap,
+    )
+    payload = json.dumps(result, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(payload + "\n")
+        for row in result["sizes"]:
+            exact = row["exact_seconds"]
+            exact_txt = (
+                f"{exact:10.2f}s" if exact is not None
+                else f"~{row.get('exact_seconds_projected', 0):.0f}s (proj)"
+            )
+            speed = row["speedup"] or row.get("speedup_projected")
+            print(
+                f"n={row['records']:>9,}  indexed {row['indexed_seconds']:8.2f}s"
+                f"  exact {exact_txt}  speedup {speed}x"
+            )
+        print(f"-> {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

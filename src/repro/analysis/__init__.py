@@ -27,10 +27,13 @@ from .evaluation import ClusteringScore, score_clustering
 from .export import FigureExporter
 from .gap_statistic import (
     cluster_by_threshold,
+    cluster_profile,
     dispersion,
+    gap_profile,
     gap_statistic,
     select_threshold,
 )
+from .lsh import SimhashIndex, band_layout
 from .malicious import (
     MaliciousIp,
     SafeBrowsingAnalyzer,
@@ -85,9 +88,13 @@ __all__ = [
     "DynamicsAnalyzer",
     "SeriesSummary",
     "cluster_by_threshold",
+    "cluster_profile",
     "dispersion",
+    "gap_profile",
     "gap_statistic",
     "select_threshold",
+    "SimhashIndex",
+    "band_layout",
     "MaliciousIp",
     "SafeBrowsingAnalyzer",
     "SafeBrowsingFindings",

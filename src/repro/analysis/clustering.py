@@ -25,10 +25,17 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from ..core.config import ClusteringConfig
 from ..core.records import UNKNOWN, PageFeatures
-from ..core.simhash import hamming_distance
+from ..core.simhash import (
+    hamming_distance,
+    hamming_rows,
+    numpy_available,
+    pack_hashes,
+)
 from .dataset import Dataset, Observation
 from .gap_statistic import cluster_by_threshold, select_threshold
+from .lsh import DEFAULT_EXACT_CUTOFF
 
 __all__ = ["Cluster", "ClusterStats", "ClusteringResult", "WebpageClusterer"]
 
@@ -153,10 +160,20 @@ class WebpageClusterer:
         use_merge: bool = True,
         threshold_seed: int = 0,
         feature_subset: tuple[str, ...] | None = None,
+        exact: bool | None = None,
+        exact_cutoff: int = DEFAULT_EXACT_CUTOFF,
     ):
         self.level2_threshold = level2_threshold
         self.merge_threshold = merge_threshold
         self.clean_min_daily_ips = clean_min_daily_ips
+        #: Second-level candidate generation: ``True`` forces the
+        #: brute-force all-pairs scan, ``False`` forces the banded LSH
+        #: index (:mod:`repro.analysis.lsh`), ``None`` picks the index
+        #: automatically above *exact_cutoff* distinct fingerprints.
+        #: Both paths produce identical partitions — the index has exact
+        #: recall at the clustering threshold.
+        self.exact = exact
+        self.exact_cutoff = exact_cutoff
         #: Ablation switch: False clusters on simhash alone (the authors'
         #: starting point before adding top-level features).
         self.use_features = use_features
@@ -175,6 +192,23 @@ class WebpageClusterer:
                     f"choose from {self.FEATURE_NAMES}"
                 )
         self.feature_subset = feature_subset
+
+    @classmethod
+    def from_config(cls, config: ClusteringConfig,
+                    **overrides) -> "WebpageClusterer":
+        """Build a clusterer from a :class:`ClusteringConfig` (the knob
+        set threaded through :class:`~repro.core.config.PlatformConfig`
+        and the CLI)."""
+        kwargs = dict(
+            level2_threshold=config.level2_threshold,
+            merge_threshold=config.merge_threshold,
+            clean_min_daily_ips=config.clean_min_daily_ips,
+            threshold_seed=config.threshold_seed,
+            exact=config.exact,
+            exact_cutoff=config.exact_cutoff,
+        )
+        kwargs.update(overrides)
+        return cls(**kwargs)
 
     def _level1_key(self, features: PageFeatures) -> tuple:
         full = features.level1_key()
@@ -210,7 +244,10 @@ class WebpageClusterer:
         for key, group in level1.items():
             distinct = sorted({o.features.simhash for o in group})  # type: ignore[union-attr]
             hash_to_cluster: dict[int, int] = {}
-            for members in cluster_by_threshold(distinct, threshold):
+            for members in cluster_by_threshold(
+                distinct, threshold,
+                exact=self.exact, exact_cutoff=self.exact_cutoff,
+            ):
                 for value in members:
                     hash_to_cluster[value] = next_id
                 cluster_key[next_id] = key
@@ -234,15 +271,21 @@ class WebpageClusterer:
                 parent[root_a] = root_b
 
         if self.use_merge:
+            candidates: list[tuple[Observation, Observation]] = []
             for history in dataset.by_ip.values():
                 previous: Observation | None = None
                 for obs in history:
                     if not obs.has_page:
                         continue
-                    if previous is not None and self._should_merge(previous, obs,
-                                                                   assignment):
-                        union(assignment[previous.key()], assignment[obs.key()])
+                    if previous is not None:
+                        candidates.append((previous, obs))
                     previous = obs
+            for (earlier, later), distance in zip(
+                candidates, self._merge_distances(candidates)
+            ):
+                if self._should_merge(earlier, later, assignment,
+                                      distance=distance):
+                    union(assignment[earlier.key()], assignment[later.key()])
 
         # Relabel to merged roots.
         merged_assignment = {
@@ -273,18 +316,54 @@ class WebpageClusterer:
 
     # ------------------------------------------------------------------
 
+    def _merge_distances(
+        self, candidates: list[tuple[Observation, Observation]]
+    ) -> list[int]:
+        """Simhash Hamming distance per successive-observation pair,
+        batch-computed with the packed popcount kernel when numpy is
+        available (bit-for-bit equal to the scalar fallback)."""
+        if numpy_available() and len(candidates) >= 64:
+            earlier = pack_hashes(
+                [a.features.simhash for a, _ in candidates]  # type: ignore[union-attr]
+            )
+            later = pack_hashes(
+                [b.features.simhash for _, b in candidates]  # type: ignore[union-attr]
+            )
+            return hamming_rows(earlier, later).tolist()
+        return [
+            hamming_distance(a.features.simhash, b.features.simhash)  # type: ignore[union-attr]
+            for a, b in candidates
+        ]
+
     def _should_merge(self, earlier: Observation, later: Observation,
-                      assignment: dict[tuple[int, int], int]) -> bool:
-        """§5's merge conditions for two same-IP records: distinct,
-        temporally ordered clusters; simhashes within 3 bits; at least
-        one of the five features equal."""
+                      assignment: dict[tuple[int, int], int],
+                      *, distance: int | None = None) -> bool:
+        """§5's merge conditions for two same-IP records at successive
+        times.  All three must hold:
+
+        1. the records sit in *distinct* second-level clusters (raw
+           pre-merge assignment ids — earlier unions never change this
+           test, so merge decisions are order-independent);
+        2. their simhashes are within :attr:`merge_threshold` bits,
+           **inclusive**: distance == ``merge_threshold`` (the paper's 3)
+           merges, ``merge_threshold + 1`` does not;
+        3. at least one of the five §5 features is equal on both sides
+           *and* known — ``UNKNOWN`` (empty/missing) values never count
+           as shared, so two featureless pages do not merge.
+
+        *distance* optionally injects a precomputed Hamming distance
+        (the vectorized batch path); it must equal
+        ``hamming_distance(earlier.simhash, later.simhash)``.
+        """
         if assignment[earlier.key()] == assignment[later.key()]:
             return False
         features_a = earlier.features
         features_b = later.features
         assert features_a is not None and features_b is not None
-        if hamming_distance(features_a.simhash, features_b.simhash) > \
-                self.merge_threshold:
+        if distance is None:
+            distance = hamming_distance(features_a.simhash,
+                                        features_b.simhash)
+        if distance > self.merge_threshold:
             return False
         return any(
             a == b and a != UNKNOWN

@@ -11,6 +11,17 @@ fingerprints, where every pairwise distance concentrates around
 ``HASH_BITS/2``).  The gap is ``E[log W_ref(t)] − log W(t)``; we choose
 the smallest threshold whose gap is within one standard error of the
 next threshold's gap (the "1-SE" rule of the original paper).
+
+Scale notes: :func:`cluster_by_threshold` dispatches between a
+brute-force all-pairs path (vectorized with the packed popcount kernels
+of :mod:`repro.core.simhash` when numpy is available) and the banded
+LSH index of :mod:`repro.analysis.lsh`, which generates candidate pairs
+in ~O(n) with exact recall at the requested threshold.  The two paths
+produce identical partitions; ``exact=True`` forces brute force,
+``exact=False`` forces the index, and the default picks by population
+size.  :func:`cluster_profile` / :func:`gap_profile` evaluate *many*
+candidate thresholds against one shared index instead of re-scanning
+the population per threshold.
 """
 
 from __future__ import annotations
@@ -19,16 +30,27 @@ import math
 import random
 from typing import Sequence
 
-from ..core.simhash import HASH_BITS, hamming_distance
+from ..core.simhash import (
+    HASH_BITS,
+    hamming_cross,
+    hamming_distance,
+    numpy_available,
+    pack_hashes,
+)
+from .lsh import DEFAULT_EXACT_CUTOFF, SimhashIndex
 
-__all__ = ["cluster_by_threshold", "dispersion", "gap_statistic",
-           "pairwise_distances", "select_threshold"]
+__all__ = ["cluster_by_threshold", "cluster_profile", "dispersion",
+           "gap_profile", "gap_statistic", "pairwise_distances",
+           "select_threshold"]
+
+#: Brute force below this size stays scalar: kernel/packing overhead
+#: beats the win on tiny populations.
+_VECTORIZE_MIN = 48
 
 
-def cluster_by_threshold(hashes: Sequence[int], threshold: int) -> list[list[int]]:
-    """Single-linkage clusters: fingerprints are connected when their
-    Hamming distance is ≤ *threshold*.  O(n²) pairwise — callers pass
-    deduplicated fingerprint sets, which are small per level-1 group."""
+def _union_groups(hashes: Sequence[int],
+                  pairs: Sequence[tuple[int, int]]) -> list[list[int]]:
+    """Partition *hashes* by the connectivity in *pairs* (index pairs)."""
     n = len(hashes)
     parent = list(range(n))
 
@@ -38,16 +60,117 @@ def cluster_by_threshold(hashes: Sequence[int], threshold: int) -> list[list[int
             x = parent[x]
         return x
 
-    for i in range(n):
-        for j in range(i + 1, n):
-            if hamming_distance(hashes[i], hashes[j]) <= threshold:
-                root_i, root_j = find(i), find(j)
-                if root_i != root_j:
-                    parent[root_i] = root_j
+    for i, j in pairs:
+        root_i, root_j = find(i), find(j)
+        if root_i != root_j:
+            parent[root_i] = root_j
     groups: dict[int, list[int]] = {}
     for index in range(n):
         groups.setdefault(find(index), []).append(hashes[index])
     return list(groups.values())
+
+
+def _cluster_exact_scalar(hashes: Sequence[int],
+                          threshold: int) -> list[list[int]]:
+    pairs = []
+    n = len(hashes)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if hamming_distance(hashes[i], hashes[j]) <= threshold:
+                pairs.append((i, j))
+    return _union_groups(hashes, pairs)
+
+
+def _cluster_exact_vectorized(hashes: Sequence[int],
+                              threshold: int) -> list[list[int]]:
+    """Blocked all-pairs comparison on the packed uint64 matrix."""
+    import numpy as np
+
+    packed = pack_hashes(hashes)
+    n = len(hashes)
+    row_block, col_block = 512, 8192
+    pairs: list[tuple[int, int]] = []
+    for i0 in range(0, n, row_block):
+        i1 = min(i0 + row_block, n)
+        rows = packed[i0:i1]
+        for j0 in range(i0, n, col_block):
+            j1 = min(j0 + col_block, n)
+            distance = hamming_cross(rows, packed[j0:j1])
+            hit_i, hit_j = np.nonzero(distance <= threshold)
+            for di, dj in zip(hit_i.tolist(), hit_j.tolist()):
+                gi, gj = i0 + di, j0 + dj
+                if gi < gj:
+                    pairs.append((gi, gj))
+    return _union_groups(hashes, pairs)
+
+
+def cluster_by_threshold(
+    hashes: Sequence[int],
+    threshold: int,
+    *,
+    exact: bool | None = None,
+    exact_cutoff: int = DEFAULT_EXACT_CUTOFF,
+) -> list[list[int]]:
+    """Single-linkage clusters: fingerprints are connected when their
+    Hamming distance is ≤ *threshold*.
+
+    *exact* selects the candidate-generation strategy: ``True`` forces
+    the all-pairs scan, ``False`` forces the banded LSH index, and
+    ``None`` (default) uses the index only above *exact_cutoff*
+    fingerprints.  All strategies return the same partition — the index
+    has exact recall at ≤ *threshold* and confirms candidates with the
+    same Hamming kernel.
+    """
+    n = len(hashes)
+    if n == 0:
+        return []
+    if threshold >= HASH_BITS:
+        # Every pair is within HASH_BITS bits: one cluster, any path.
+        return [list(hashes)]
+    use_index = exact is False or (exact is None and n > exact_cutoff)
+    if use_index:
+        return SimhashIndex(hashes, threshold).clusters()
+    if numpy_available() and n >= _VECTORIZE_MIN:
+        return _cluster_exact_vectorized(hashes, threshold)
+    return _cluster_exact_scalar(hashes, threshold)
+
+
+def cluster_profile(
+    hashes: Sequence[int],
+    thresholds: Sequence[int],
+    *,
+    exact: bool | None = None,
+    exact_cutoff: int = DEFAULT_EXACT_CUTOFF,
+) -> dict[int, list[list[int]]]:
+    """Partitions at several thresholds from **one** candidate scan.
+
+    A banded index built for ``max(thresholds)`` retains exact recall at
+    every smaller threshold, so the matching pairs (with their exact
+    distances) are computed once and each threshold only re-runs the
+    cheap union-find over the filtered pairs — instead of re-scanning
+    the population per candidate threshold.
+    """
+    distinct = sorted(set(thresholds))
+    if not distinct:
+        return {}
+    n = len(hashes)
+    top = distinct[-1]
+    use_index = exact is False or (exact is None and n > exact_cutoff)
+    if not use_index or top >= HASH_BITS or n == 0:
+        return {
+            t: cluster_by_threshold(hashes, t, exact=exact,
+                                    exact_cutoff=exact_cutoff)
+            for t in distinct
+        }
+    index = SimhashIndex(hashes, top)
+    lefts, rights, distances = index.matching_pairs()
+    return {
+        t: _union_groups(
+            hashes,
+            [(i, j) for i, j, d in zip(lefts, rights, distances) if d <= t],
+        )
+        for t in distinct
+    }
 
 
 def dispersion(clusters: list[list[int]]) -> float:
@@ -58,11 +181,33 @@ def dispersion(clusters: list[list[int]]) -> float:
         size = len(members)
         if size < 2:
             continue
-        pair_sum = 0
-        for i in range(size):
-            for j in range(i + 1, size):
-                pair_sum += hamming_distance(members[i], members[j])
-        total += pair_sum / size
+        total += _pair_distance_sum(members) / size
+    return total
+
+
+def _pair_distance_sum(members: Sequence[int]) -> int:
+    """Sum of all pairwise Hamming distances within one cluster.
+
+    Uses the per-bit identity Σ_pairs popcount(a⊕b) = Σ_bits c·(n−c)
+    (c = how many members set that bit), which is O(n·HASH_BITS) instead
+    of O(n²) and exact integer arithmetic either way.
+    """
+    size = len(members)
+    if size < 2:
+        return 0
+    if numpy_available() and size >= _VECTORIZE_MIN:
+        import numpy as np
+
+        packed = pack_hashes(members)
+        as_bytes = packed.view(np.uint8)
+        bits = np.unpackbits(as_bytes, axis=1)
+        ones = bits.sum(axis=0, dtype=np.int64)
+        return int((ones * (size - ones)).sum())
+    total = 0
+    for bit in range(HASH_BITS):
+        probe = 1 << bit
+        ones = sum(1 for value in members if value & probe)
+        total += ones * (size - ones)
     return total
 
 
@@ -76,6 +221,7 @@ def gap_statistic(
     *,
     references: int = 5,
     rng: random.Random | None = None,
+    clusters: list[list[int]] | None = None,
 ) -> tuple[float, float]:
     """Gap statistic of the clustering induced by *threshold*.
 
@@ -84,10 +230,12 @@ def gap_statistic(
     (uniform fingerprints) partitioned into the *same cluster-size
     profile*, so both sides are evaluated at the same model complexity.
     A positive gap means the threshold recovered genuinely tighter
-    groups than chance.
+    groups than chance.  Pass *clusters* (e.g. from
+    :func:`cluster_profile`) to skip re-clustering.
     """
     rng = rng or random.Random(0)
-    clusters = cluster_by_threshold(list(hashes), threshold)
+    if clusters is None:
+        clusters = cluster_by_threshold(list(hashes), threshold)
     observed = dispersion(clusters)
     log_observed = math.log(observed + 1.0)
     profile = [len(c) for c in clusters]
@@ -106,10 +254,49 @@ def gap_statistic(
     return mean_ref - log_observed, std_error
 
 
+def gap_profile(
+    hashes: Sequence[int],
+    thresholds: Sequence[int],
+    *,
+    references: int = 5,
+    rng: random.Random | None = None,
+    exact: bool | None = None,
+) -> dict[int, tuple[float, float]]:
+    """``{threshold: (gap, std_error)}`` over candidate thresholds.
+
+    The threshold search that motivated the paper's gap-statistic step:
+    all candidate partitions come from one shared banded index (see
+    :func:`cluster_profile`), then each is scored by
+    :func:`gap_statistic`.  Deterministic for a given *rng* seed and
+    call order (thresholds are evaluated in ascending order).
+    """
+    rng = rng or random.Random(0)
+    profiles = cluster_profile(hashes, thresholds, exact=exact)
+    return {
+        threshold: gap_statistic(
+            hashes, threshold, references=references, rng=rng,
+            clusters=profiles[threshold],
+        )
+        for threshold in sorted(profiles)
+    }
+
+
 def pairwise_distances(hashes: Sequence[int]) -> list[int]:
-    """All pairwise Hamming distances among the given fingerprints."""
-    distances: list[int] = []
+    """All pairwise Hamming distances among the given fingerprints,
+    in ``(i, j), i < j`` row-major order."""
     n = len(hashes)
+    if numpy_available() and n >= _VECTORIZE_MIN:
+        import numpy as np
+
+        packed = pack_hashes(hashes)
+        distances: list[int] = []
+        for i in range(n - 1):
+            row = np.bitwise_count(packed[i] ^ packed[i + 1 :]).sum(
+                axis=1, dtype=np.uint32
+            )
+            distances.extend(row.tolist())
+        return distances
+    distances = []
     for i in range(n):
         for j in range(i + 1, n):
             distances.append(hamming_distance(hashes[i], hashes[j]))
@@ -134,8 +321,8 @@ def select_threshold(
     affordability) and places the threshold a third of the way in, so
     modest revision outliers are still absorbed while chaining toward
     the unrelated mode stays far away.  This plays the role of the
-    paper's gap-statistic-based tuning step: :func:`gap_statistic`
-    itself is exposed for validating a chosen clustering.
+    paper's gap-statistic-based tuning step: :func:`gap_statistic` /
+    :func:`gap_profile` are exposed for validating a chosen clustering.
 
     Falls back to *default* when the population is too small or shows
     no separation (fewer than 3 distinct fingerprints, or no empty band

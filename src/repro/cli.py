@@ -30,6 +30,7 @@ from .analysis import (
 )
 from .cloudsim.addressing import ip_to_int
 from .core import MeasurementStore, RoundInterrupted, SocketTransport, WhoWas
+from .core.config import ClusteringConfig
 from .workloads import (
     Campaign,
     CampaignInterrupted,
@@ -73,6 +74,40 @@ def _chaos_rate(value: str) -> float:
             f"chaos rate must be in [0, 1], got {rate}"
         )
     return rate
+
+
+def _add_clustering_args(parser: argparse.ArgumentParser) -> None:
+    """Clustering-at-scale knobs shared by ``report`` and ``aggregate``."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cluster-exact", action="store_true",
+        help="force brute-force all-pairs simhash clustering",
+    )
+    group.add_argument(
+        "--cluster-indexed", action="store_true",
+        help="force banded-LSH candidate generation (identical clusters, "
+             "sub-quadratic at scale)",
+    )
+    parser.add_argument(
+        "--cluster-cutoff", type=int, metavar="N",
+        default=ClusteringConfig().exact_cutoff,
+        help="auto mode switches to the LSH index above N distinct "
+             "fingerprints per group (default %(default)s)",
+    )
+
+
+def _clusterer_from_args(args) -> WebpageClusterer:
+    exact: bool | None = None
+    if getattr(args, "cluster_exact", False):
+        exact = True
+    elif getattr(args, "cluster_indexed", False):
+        exact = False
+    config = ClusteringConfig(
+        exact=exact,
+        exact_cutoff=getattr(args, "cluster_cutoff",
+                             ClusteringConfig().exact_cutoff),
+    )
+    return WebpageClusterer.from_config(config)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("db")
     report.add_argument("--no-cluster", action="store_true",
                         help="skip the clustering step")
+    _add_clustering_args(report)
     report.add_argument("--export", metavar="DIR", default=None,
                         help="also write per-figure CSV series to DIR")
 
@@ -136,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     aggregate.add_argument("db")
     aggregate.add_argument("--cloud", default="unknown")
+    _add_clustering_args(aggregate)
 
     rounds = commands.add_parser(
         "rounds", help="list a database's rounds with wall-clock durations"
@@ -303,7 +340,7 @@ def _cmd_report(args) -> int:
         return 1
     clustering = None
     if not args.no_cluster:
-        clustering = WebpageClusterer().cluster(dataset)
+        clustering = _clusterer_from_args(args).cluster(dataset)
     dynamics = DynamicsAnalyzer(dataset, clustering)
     print(f"rounds: {dataset.round_count}, "
           f"targets probed: {dynamics.space_size()}")
@@ -368,7 +405,7 @@ def _cmd_lookup(args) -> int:
 def _cmd_aggregate(args) -> int:
     store = MeasurementStore(args.db)
     dataset = Dataset.from_store(store)
-    clustering = WebpageClusterer().cluster(dataset)
+    clustering = _clusterer_from_args(args).cluster(dataset)
     report = build_aggregate_report(args.cloud, dataset, clustering)
     report.assert_private()
     print(report.to_json())

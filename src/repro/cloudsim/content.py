@@ -15,6 +15,7 @@ characteristic URL that the analysis engine fingerprints with a regex.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, replace
 
 __all__ = [
@@ -344,7 +345,9 @@ class ContentFactory:
                 keywords="",
                 template="",
                 analytics_id="",
-                body_seed=hash(family) & 0x7FFFFFFF,
+                # crc32, not hash(): body_seed must not depend on
+                # PYTHONHASHSEED or simhashes drift across processes.
+                body_seed=zlib.crc32(family.encode()) & 0x7FFFFFFF,
                 body_tokens=60,
                 status_code=200,
             )

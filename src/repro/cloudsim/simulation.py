@@ -107,7 +107,9 @@ class HostState:
         return self.service.day_in_life(self.day)
 
 
-def _stable_hash(*parts: int) -> int:
+def _stable_hash(*parts: int | str) -> int:
+    """Process-stable hash (unlike builtin ``hash``, which is salted by
+    PYTHONHASHSEED and would break seed-reproducibility)."""
     data = b":".join(str(p).encode() for p in parts)
     return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
 
@@ -165,7 +167,7 @@ class CloudSimulation:
         self._pools: dict[str, IpPool] = {
             spec.name: IpPool(
                 topology.addresses_by_kind(spec.name),
-                random.Random(seed ^ _stable_hash(hash(spec.name) & 0xFFFF)),
+                random.Random(seed ^ _stable_hash(spec.name)),
             )
             for spec in topology.spec.regions
         }

@@ -16,6 +16,7 @@ __all__ = [
     "FetchConfig",
     "GuardConfig",
     "PipelineConfig",
+    "ClusteringConfig",
     "PlatformConfig",
 ]
 
@@ -233,6 +234,49 @@ class PipelineConfig:
 
 
 @dataclass(frozen=True)
+class ClusteringConfig:
+    """§5 clustering parameters plus the at-scale candidate-generation
+    knobs (:mod:`repro.analysis.clustering`, :mod:`repro.analysis.lsh`).
+
+    The second-level clustering connects simhashes within a Hamming
+    threshold.  ``exact`` picks how candidate pairs are generated:
+    ``True`` forces the brute-force all-pairs scan, ``False`` forces the
+    banded LSH index, and ``None`` (default) switches to the index once
+    a group holds more than ``exact_cutoff`` distinct fingerprints.
+    Both paths are provably equivalent (the index has 100% recall at
+    the threshold and confirms candidates exactly), so this knob trades
+    nothing but constant factors.
+    """
+
+    #: Fixed second-level Hamming threshold; None tunes it per campaign
+    #: (the gap-statistic-inspired separation-band estimator).
+    level2_threshold: int | None = None
+    #: Merge-heuristic Hamming bound, **inclusive** (paper: 3 bits).
+    merge_threshold: int = 3
+    #: Cleaning rule: default-page clusters averaging more than this
+    #: many IPs per day are dropped (§5).
+    clean_min_daily_ips: float = 20.0
+    #: Candidate generation: None = auto, True = brute force,
+    #: False = banded LSH index.
+    exact: bool | None = None
+    #: Auto mode switches to the index above this many distinct
+    #: fingerprints per level-1 group.
+    exact_cutoff: int = 256
+    #: Seed for the threshold-tuning sampler.
+    threshold_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.level2_threshold is not None and self.level2_threshold < 0:
+            raise ValueError("level2_threshold must be non-negative")
+        if self.merge_threshold < 0:
+            raise ValueError("merge_threshold must be non-negative")
+        if self.clean_min_daily_ips <= 0:
+            raise ValueError("clean_min_daily_ips must be positive")
+        if self.exact_cutoff < 0:
+            raise ValueError("exact_cutoff must be non-negative")
+
+
+@dataclass(frozen=True)
 class PlatformConfig:
     """Top-level WhoWas configuration."""
 
@@ -240,6 +284,7 @@ class PlatformConfig:
     fetch: FetchConfig = field(default_factory=FetchConfig)
     guard: GuardConfig = field(default_factory=GuardConfig)
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     #: IPs that must never be probed (tenant opt-outs; §4, §7).
     blacklist: frozenset[int] = frozenset()
     #: Also read the SSH banner from IPs with port 22 open (one extra

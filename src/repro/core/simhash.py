@@ -19,12 +19,25 @@ from __future__ import annotations
 import hashlib
 import re
 from collections import Counter
-from typing import Iterable
+from typing import Iterable, Sequence
+
+try:  # pragma: no cover - exercised via the fallback-path tests
+    import numpy as _np
+
+    if not hasattr(_np, "bitwise_count"):  # numpy < 2.0
+        _np = None  # type: ignore[assignment]
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
 
 __all__ = [
     "HASH_BITS",
+    "HASH_WORDS",
     "simhash",
     "hamming_distance",
+    "numpy_available",
+    "pack_hashes",
+    "hamming_rows",
+    "hamming_cross",
     "tokenize",
     "shingles",
 ]
@@ -32,7 +45,12 @@ __all__ = [
 #: Width of the fingerprint in bits; the paper uses 96-bit hashes (§4).
 HASH_BITS = 96
 
+#: 64-bit words per packed fingerprint row (low word, then high word).
+HASH_WORDS = (HASH_BITS + 63) // 64
+
 _HASH_MASK = (1 << HASH_BITS) - 1
+
+_WORD_MASK = (1 << 64) - 1
 
 _TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
 
@@ -102,3 +120,72 @@ def simhash(text: str, *, shingle_width: int = 3) -> int:
 def hamming_distance(a: int, b: int) -> int:
     """Number of differing bits between two fingerprints (0..HASH_BITS)."""
     return ((a ^ b) & _HASH_MASK).bit_count()
+
+
+# ----------------------------------------------------------------------
+# Vectorized Hamming kernels.
+#
+# Clustering at scale (analysis/lsh.py, analysis/gap_statistic.py) runs
+# Hamming distance over millions of fingerprint pairs.  The kernels below
+# pack fingerprints into a (n, HASH_WORDS) uint64 matrix and compute
+# distances with ``numpy.bitwise_count`` — bit-for-bit identical to the
+# scalar :func:`hamming_distance`.  Every caller must keep a pure-python
+# path for environments without numpy (or with numpy < 2.0): gate on
+# :func:`numpy_available` rather than importing numpy directly, so the
+# fallback is testable by patching ``repro.core.simhash._np``.
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized kernels can run (numpy >= 2.0 importable)."""
+    return _np is not None
+
+
+def pack_hashes(hashes: Sequence[int]) -> "_np.ndarray":
+    """Pack fingerprints into an ``(n, HASH_WORDS)`` uint64 matrix.
+
+    Row *i* holds ``hashes[i]`` split into little-endian 64-bit words:
+    column 0 is bits 0..63, column 1 is bits 64..95.
+    """
+    if _np is None:
+        raise RuntimeError("numpy >= 2.0 is required for packed kernels")
+    count = len(hashes)
+    packed = _np.empty((count, HASH_WORDS), dtype=_np.uint64)
+    for word in range(HASH_WORDS):
+        shift = 64 * word
+        packed[:, word] = _np.fromiter(
+            ((value >> shift) & _WORD_MASK for value in hashes),
+            dtype=_np.uint64,
+            count=count,
+        )
+    return packed
+
+
+def hamming_rows(packed_a: "_np.ndarray",
+                 packed_b: "_np.ndarray") -> "_np.ndarray":
+    """Row-wise Hamming distances between two equal-shape packed matrices.
+
+    Returns a ``(n,)`` integer array where entry *i* equals
+    ``hamming_distance(a[i], b[i])``.
+    """
+    if _np is None:
+        raise RuntimeError("numpy >= 2.0 is required for packed kernels")
+    return _np.bitwise_count(packed_a ^ packed_b).sum(
+        axis=1, dtype=_np.uint32
+    )
+
+
+def hamming_cross(packed_a: "_np.ndarray",
+                  packed_b: "_np.ndarray") -> "_np.ndarray":
+    """All-pairs Hamming distances: a ``(len(a), len(b))`` matrix.
+
+    Materialises one uint64 temporary of that shape per word — callers
+    comparing large populations must block both dimensions.
+    """
+    if _np is None:
+        raise RuntimeError("numpy >= 2.0 is required for packed kernels")
+    out = _np.zeros((packed_a.shape[0], packed_b.shape[0]), dtype=_np.uint16)
+    for word in range(HASH_WORDS):
+        out += _np.bitwise_count(
+            packed_a[:, word, None] ^ packed_b[None, :, word]
+        )
+    return out

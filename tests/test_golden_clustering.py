@@ -1,0 +1,85 @@
+"""Golden regression pin for the §5 clustering funnel on the seed
+scenario — the tier-1 guard behind ``bench_table06_clustering.py``.
+
+The benchmark suite reproduces Table 6 at bench scale, but it only
+checks *ordering relations*; a subtle indexed-vs-exact drift in cluster
+assignments could pass there and silently change the reported numbers.
+This test pins the funnel exactly on the (deterministic) tier-1 seed
+campaign, for the brute-force path, the banded-LSH path, and the
+default auto path — all three must agree with the committed goldens and
+with each other, so any drift is caught in tier-1, not in benchmark
+review.
+
+If a deliberate algorithm change moves these numbers, regenerate them
+with the snippet in this file's git history (run the clusterer on the
+``ec2_campaign`` fixture and print ``stats``/sizes) and update the
+constants in the same commit that changes the behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.clustering import ClusterStats, WebpageClusterer
+
+#: Funnel of the 2048-IP / 35-day / seed-101 EC2 fixture campaign.
+GOLDEN_STATS = ClusterStats(
+    responsive_ips=743,
+    unique_simhashes=162,
+    top_level_clusters=114,
+    second_level_clusters=130,
+    merged_clusters=130,
+    final_clusters=84,
+)
+GOLDEN_THRESHOLD = 20
+GOLDEN_TOTAL_MEMBERS = 3523
+GOLDEN_TOP10_SIZES = [216, 216, 215, 208, 192, 192, 191, 189, 180, 156]
+GOLDEN_REMOVED_CLUSTERS = 46
+
+
+def _canonical(result):
+    kept = frozenset(frozenset(c.members) for c in result.clusters.values())
+    removed = frozenset(frozenset(c.members) for c in result.removed.values())
+    return kept, removed
+
+
+@pytest.fixture(scope="module")
+def exact_result(ec2_campaign):
+    return WebpageClusterer(exact=True).cluster(ec2_campaign.dataset)
+
+
+@pytest.fixture(scope="module")
+def indexed_result(ec2_campaign):
+    return WebpageClusterer(exact=False, exact_cutoff=0).cluster(
+        ec2_campaign.dataset
+    )
+
+
+class TestGoldenFunnel:
+    def test_exact_path_matches_goldens(self, exact_result):
+        assert exact_result.stats == GOLDEN_STATS
+        assert exact_result.threshold == GOLDEN_THRESHOLD
+
+    def test_indexed_path_matches_goldens(self, indexed_result):
+        assert indexed_result.stats == GOLDEN_STATS
+        assert indexed_result.threshold == GOLDEN_THRESHOLD
+
+    def test_default_auto_path_matches_goldens(self, ec2_clustering):
+        assert ec2_clustering.stats == GOLDEN_STATS
+        assert ec2_clustering.threshold == GOLDEN_THRESHOLD
+
+    def test_cluster_sizes_pinned(self, indexed_result):
+        sizes = sorted(
+            (len(c.members) for c in indexed_result.clusters.values()),
+            reverse=True,
+        )
+        assert len(sizes) == GOLDEN_STATS.final_clusters
+        assert sum(sizes) == GOLDEN_TOTAL_MEMBERS
+        assert sizes[:10] == GOLDEN_TOP10_SIZES
+        assert len(indexed_result.removed) == GOLDEN_REMOVED_CLUSTERS
+
+    def test_indexed_and_exact_identical(self, exact_result, indexed_result):
+        """The real invariant behind the goldens: byte-identical
+        cluster membership between the two candidate-generation paths."""
+        assert _canonical(exact_result) == _canonical(indexed_result)
+        assert exact_result.stats == indexed_result.stats

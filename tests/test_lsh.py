@@ -1,0 +1,315 @@
+"""Property/golden tier for banded-LSH simhash clustering.
+
+The indexed path is only allowed to exist because it is *provably*
+byte-equivalent to brute force: the band layout guarantees 100% recall
+for pairs within the clustering threshold (pigeonhole over
+``threshold + 1`` disjoint bands), and every candidate is confirmed
+with the exact Hamming kernel.  These properties pin that story:
+
+- candidate generation finds **every** pair at distance ≤ threshold,
+  for random corpora and random band parameters;
+- ``cluster(exact=False)`` produces the identical ``ClusteringResult``
+  partition as ``cluster(exact=True)`` on WhoWas-shaped datasets;
+- the multi-threshold profile (one shared index) matches per-threshold
+  brute force;
+- everything also holds on the no-numpy scalar fallback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.clustering import WebpageClusterer
+from repro.analysis.gap_statistic import (
+    cluster_by_threshold,
+    cluster_profile,
+)
+from repro.analysis.lsh import SimhashIndex, band_layout
+import importlib
+
+from repro.core.simhash import HASH_BITS, hamming_distance
+
+#: The kernel module itself — ``repro.core``'s ``simhash`` attribute is
+#: the *function* re-exported by the package, so go via importlib.
+simhash_mod = importlib.import_module("repro.core.simhash")
+
+from _obs import make_dataset, obs
+
+fingerprints = st.integers(0, 2**HASH_BITS - 1)
+
+
+@st.composite
+def corpora(draw, min_size=1, max_bases=8, max_members=5, max_flips=8):
+    """Fingerprint populations with planted near-duplicate structure —
+    uniform random 96-bit values almost never collide, so perturb a few
+    bases to exercise the merge/chaining paths."""
+    bases = draw(
+        st.lists(fingerprints, min_size=min_size, max_size=max_bases)
+    )
+    hashes: list[int] = []
+    for base in bases:
+        for _ in range(draw(st.integers(1, max_members))):
+            positions = draw(
+                st.lists(st.integers(0, HASH_BITS - 1), max_size=max_flips,
+                         unique=True)
+            )
+            value = base
+            for position in positions:
+                value ^= 1 << position
+            hashes.append(value)
+    return hashes
+
+
+def brute_pairs(hashes, threshold):
+    return {
+        (i, j)
+        for i in range(len(hashes))
+        for j in range(i + 1, len(hashes))
+        if hamming_distance(hashes[i], hashes[j]) <= threshold
+    }
+
+
+def partition(clusters):
+    """Order-insensitive canonical form of a list-of-clusters."""
+    return sorted(tuple(sorted(c)) for c in clusters)
+
+
+def result_partition(result):
+    """Canonical form of a ClusteringResult: member sets of the kept
+    clusters, member sets of the removed clusters, and the stats row."""
+    kept = frozenset(
+        frozenset(c.members) for c in result.clusters.values()
+    )
+    removed = frozenset(
+        frozenset(c.members) for c in result.removed.values()
+    )
+    return kept, removed, result.stats, result.threshold
+
+
+class TestBandLayout:
+    @given(st.integers(0, HASH_BITS - 1))
+    def test_layout_partitions_the_bits(self, threshold):
+        spans = band_layout(threshold)
+        assert len(spans) >= threshold + 1
+        covered = []
+        for start, width in spans:
+            assert width >= 1
+            assert width <= 64  # keys must fit one machine word
+            covered.extend(range(start, start + width))
+        assert covered == list(range(HASH_BITS))
+
+    @given(st.integers(0, 20), st.integers(0, 40))
+    def test_extra_bands_allowed(self, threshold, extra):
+        bands = min(threshold + 1 + extra, HASH_BITS)
+        bands = max(bands, 2)
+        spans = band_layout(threshold, bands=bands)
+        assert len(spans) == bands
+
+    def test_too_few_bands_rejected(self):
+        with pytest.raises(ValueError):
+            band_layout(5, bands=4)
+
+    def test_degenerate_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            band_layout(HASH_BITS)
+
+
+class TestRecall:
+    @given(corpora(), st.integers(0, 12), st.integers(0, 12))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_candidate_recall_is_total(self, hashes, threshold, extra):
+        """For random corpora and random band parameters the index
+        reports exactly the brute-force pair set — recall 1.0 by the
+        pigeonhole guarantee, precision 1.0 by the exact confirm."""
+        bands = max(min(threshold + 1 + extra, HASH_BITS), 2)
+        index = SimhashIndex(hashes, threshold, bands=bands)
+        lefts, rights, distances = index.matching_pairs()
+        found = set(zip(lefts, rights))
+        assert found == brute_pairs(hashes, threshold)
+        for i, j, d in zip(lefts, rights, distances):
+            assert d == hamming_distance(hashes[i], hashes[j])
+            assert d <= threshold
+
+    @given(corpora(), st.integers(1, 10))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_recall_carries_to_smaller_thresholds(self, hashes, threshold):
+        """An index built for t answers any t' <= t exactly."""
+        index = SimhashIndex(hashes, threshold)
+        smaller = threshold // 2
+        lefts, rights, _ = index.matching_pairs(smaller)
+        assert set(zip(lefts, rights)) == brute_pairs(hashes, smaller)
+
+    def test_larger_threshold_rejected(self):
+        index = SimhashIndex([1, 2, 3], 4)
+        with pytest.raises(ValueError):
+            index.matching_pairs(5)
+
+
+class TestClusterEquivalence:
+    @given(corpora(), st.integers(0, 12))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_indexed_partition_equals_exact(self, hashes, threshold):
+        exact = cluster_by_threshold(hashes, threshold, exact=True)
+        indexed = cluster_by_threshold(hashes, threshold, exact=False)
+        assert partition(exact) == partition(indexed)
+
+    @given(corpora(min_size=2), st.lists(st.integers(0, 12), min_size=1,
+                                         max_size=4))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_profile_matches_per_threshold_brute_force(self, hashes,
+                                                       thresholds):
+        profile = cluster_profile(hashes, thresholds, exact=False)
+        for threshold in set(thresholds):
+            expected = cluster_by_threshold(hashes, threshold, exact=True)
+            assert partition(profile[threshold]) == partition(expected)
+
+    def test_auto_cutoff_switches_paths(self):
+        rng = random.Random(5)
+        hashes = [rng.getrandbits(HASH_BITS) for _ in range(40)]
+        below = cluster_by_threshold(hashes, 4, exact=None, exact_cutoff=100)
+        above = cluster_by_threshold(hashes, 4, exact=None, exact_cutoff=10)
+        assert partition(below) == partition(above)
+
+
+@st.composite
+def datasets(draw):
+    """WhoWas-shaped observation sets: few feature values (so level-1
+    groups overlap), planted simhash structure, multiple rounds per IP
+    (so the temporal merge heuristic fires)."""
+    titles = ("shop", "blog", UNKNOWN_TITLE)
+    servers = ("nginx", "apache")
+    bases = draw(st.lists(fingerprints, min_size=1, max_size=4))
+    observations = []
+    count = draw(st.integers(2, 24))
+    for index in range(count):
+        base = bases[draw(st.integers(0, len(bases) - 1))]
+        positions = draw(
+            st.lists(st.integers(0, HASH_BITS - 1), max_size=5, unique=True)
+        )
+        value = base
+        for position in positions:
+            value ^= 1 << position
+        observations.append(
+            obs(
+                ip=draw(st.integers(1, 6)),
+                round_id=draw(st.integers(0, 3)),
+                title=titles[draw(st.integers(0, 2))],
+                server=servers[draw(st.integers(0, 1))],
+                simhash=value,
+            )
+        )
+    unique = {}
+    for o in observations:
+        unique[o.key()] = o
+    return make_dataset(list(unique.values()))
+
+
+UNKNOWN_TITLE = "unknown"
+
+
+class TestClusteringResultEquivalence:
+    """`cluster(indexed)` must produce the identical ClusteringResult
+    (same cluster membership per round) as `cluster(exact=True)`."""
+
+    @given(datasets(), st.integers(0, 8))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_same_result_on_random_datasets(self, dataset, threshold):
+        exact = WebpageClusterer(
+            level2_threshold=threshold, exact=True
+        ).cluster(dataset)
+        indexed = WebpageClusterer(
+            level2_threshold=threshold, exact=False, exact_cutoff=0
+        ).cluster(dataset)
+        assert result_partition(exact) == result_partition(indexed)
+
+    @given(datasets())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_same_result_with_tuned_threshold(self, dataset):
+        """Equivalence also holds when the threshold itself is tuned
+        from the population (both paths must tune identically)."""
+        exact = WebpageClusterer(exact=True).cluster(dataset)
+        indexed = WebpageClusterer(exact=False, exact_cutoff=0).cluster(dataset)
+        assert exact.threshold == indexed.threshold
+        assert result_partition(exact) == result_partition(indexed)
+
+
+class TestNoNumpyFallback:
+    def test_fallback_matches_vectorized(self, monkeypatch):
+        rng = random.Random(11)
+        hashes = []
+        for _ in range(120):
+            base = rng.getrandbits(HASH_BITS)
+            hashes.append(base)
+            hashes.append(base ^ (1 << rng.randrange(HASH_BITS)))
+        with_numpy = partition(cluster_by_threshold(hashes, 4, exact=False))
+        with_numpy_exact = partition(cluster_by_threshold(hashes, 4,
+                                                          exact=True))
+        monkeypatch.setattr(simhash_mod, "_np", None)
+        assert not simhash_mod.numpy_available()
+        scalar = partition(cluster_by_threshold(hashes, 4, exact=False))
+        scalar_exact = partition(cluster_by_threshold(hashes, 4, exact=True))
+        assert scalar == with_numpy
+        assert scalar_exact == with_numpy_exact
+
+    def test_fallback_full_clusterer(self, monkeypatch):
+        rng = random.Random(12)
+        observations = []
+        for index in range(40):
+            base = rng.getrandbits(HASH_BITS)
+            observations.append(
+                obs(index, 0, title="site", server="nginx", simhash=base)
+            )
+            observations.append(
+                obs(index, 1, title="site", server="nginx",
+                    simhash=base ^ (1 << rng.randrange(HASH_BITS)))
+            )
+        dataset = make_dataset(observations)
+        vectorized = result_partition(
+            WebpageClusterer(level2_threshold=3, exact=False,
+                             exact_cutoff=0).cluster(dataset)
+        )
+        monkeypatch.setattr(simhash_mod, "_np", None)
+        fallback = result_partition(
+            WebpageClusterer(level2_threshold=3, exact=False,
+                             exact_cutoff=0).cluster(dataset)
+        )
+        fallback_exact = result_partition(
+            WebpageClusterer(level2_threshold=3, exact=True).cluster(dataset)
+        )
+        assert fallback == vectorized
+        assert fallback_exact == vectorized
+
+
+@pytest.mark.slow
+class TestAtScale:
+    """Paper-scale corpora: too slow for tier-1, nightly runs them."""
+
+    def test_equivalence_on_large_corpus(self):
+        rng = random.Random(99)
+        hashes = []
+        while len(hashes) < 6000:
+            base = rng.getrandbits(HASH_BITS)
+            for _ in range(rng.randint(1, 4)):
+                value = base
+                for position in rng.sample(range(HASH_BITS),
+                                           rng.randint(0, 4)):
+                    value ^= 1 << position
+                hashes.append(value)
+        for threshold in (2, 4, 8):
+            exact = cluster_by_threshold(hashes, threshold, exact=True)
+            indexed = cluster_by_threshold(hashes, threshold, exact=False)
+            assert partition(exact) == partition(indexed)
+
+    @given(corpora(max_bases=30, max_members=8), st.integers(0, 16))
+    @settings(max_examples=200, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_recall_extended_matrix(self, hashes, threshold):
+        index = SimhashIndex(hashes, threshold)
+        lefts, rights, _ = index.matching_pairs()
+        assert set(zip(lefts, rights)) == brute_pairs(hashes, threshold)

@@ -126,3 +126,109 @@ class TestSimhash:
         value = simhash(text)
         assert 0 <= value < (1 << HASH_BITS)
         assert simhash(text) == value
+
+
+# Edge fingerprints for the packed-kernel equivalence checks: zeros,
+# all-ones, single bits at word boundaries, and half-word patterns.
+EDGE_PATTERNS = [
+    0,
+    (1 << HASH_BITS) - 1,
+    1,
+    1 << 63,
+    1 << 64,
+    1 << (HASH_BITS - 1),
+    (1 << 64) - 1,
+    ((1 << 32) - 1) << 64,
+    0x5555_5555_5555_5555_5555_5555,
+    0xAAAA_AAAA_AAAA_AAAA_AAAA_AAAA,
+]
+
+
+class TestPackedKernels:
+    """The numpy popcount kernels must match the scalar
+    :func:`hamming_distance` bit for bit."""
+
+    def setup_method(self):
+        from repro.core.simhash import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy >= 2.0 not available")
+
+    def test_pack_roundtrip_words(self):
+        from repro.core.simhash import HASH_WORDS, pack_hashes
+
+        packed = pack_hashes(EDGE_PATTERNS)
+        assert packed.shape == (len(EDGE_PATTERNS), HASH_WORDS)
+        for row, value in zip(packed, EDGE_PATTERNS):
+            rebuilt = int(row[0]) | (int(row[1]) << 64)
+            assert rebuilt == value
+
+    def test_rows_kernel_on_edge_patterns(self):
+        from repro.core.simhash import hamming_rows, pack_hashes
+
+        pairs = [(a, b) for a in EDGE_PATTERNS for b in EDGE_PATTERNS]
+        left = pack_hashes([a for a, _ in pairs])
+        right = pack_hashes([b for _, b in pairs])
+        got = hamming_rows(left, right).tolist()
+        want = [hamming_distance(a, b) for a, b in pairs]
+        assert got == want
+
+    def test_cross_kernel_on_edge_patterns(self):
+        from repro.core.simhash import hamming_cross, pack_hashes
+
+        packed = pack_hashes(EDGE_PATTERNS)
+        matrix = hamming_cross(packed, packed)
+        for i, a in enumerate(EDGE_PATTERNS):
+            for j, b in enumerate(EDGE_PATTERNS):
+                assert int(matrix[i, j]) == hamming_distance(a, b)
+
+    @given(st.lists(st.integers(0, (1 << HASH_BITS) - 1),
+                    min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_rows_kernel_fuzz(self, values):
+        from repro.core.simhash import hamming_rows, pack_hashes
+
+        rotated = values[1:] + values[:1]
+        got = hamming_rows(pack_hashes(values), pack_hashes(rotated)).tolist()
+        want = [hamming_distance(a, b) for a, b in zip(values, rotated)]
+        assert got == want
+
+    @given(st.lists(st.integers(0, (1 << HASH_BITS) - 1),
+                    min_size=1, max_size=16),
+           st.lists(st.integers(0, (1 << HASH_BITS) - 1),
+                    min_size=1, max_size=16))
+    @settings(max_examples=25)
+    def test_cross_kernel_fuzz(self, left, right):
+        from repro.core.simhash import hamming_cross, pack_hashes
+
+        matrix = hamming_cross(pack_hashes(left), pack_hashes(right))
+        assert matrix.shape == (len(left), len(right))
+        for i, a in enumerate(left):
+            for j, b in enumerate(right):
+                assert int(matrix[i, j]) == hamming_distance(a, b)
+
+
+class TestNoNumpyKernels:
+    """Without numpy the kernels refuse loudly and the gate reports it;
+    algorithm callers must then take their scalar fallbacks."""
+
+    def test_kernels_raise_without_numpy(self, monkeypatch):
+        import importlib
+
+        simhash_mod = importlib.import_module("repro.core.simhash")
+        monkeypatch.setattr(simhash_mod, "_np", None)
+        assert not simhash_mod.numpy_available()
+        with pytest.raises(RuntimeError):
+            simhash_mod.pack_hashes([1, 2, 3])
+        with pytest.raises(RuntimeError):
+            simhash_mod.hamming_rows(None, None)
+        with pytest.raises(RuntimeError):
+            simhash_mod.hamming_cross(None, None)
+
+    def test_scalar_distance_unaffected(self, monkeypatch):
+        import importlib
+
+        simhash_mod = importlib.import_module("repro.core.simhash")
+        monkeypatch.setattr(simhash_mod, "_np", None)
+        assert simhash_mod.hamming_distance(0, (1 << HASH_BITS) - 1) == \
+            HASH_BITS
