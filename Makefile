@@ -24,15 +24,19 @@ slow:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Quick serial-vs-overlapped round-pipeline throughput comparison plus
-# an indexed-vs-exact clustering scaling spot check; regenerates
-# BENCH_pipeline.json at the repo root (the committed
-# BENCH_clustering.json comes from the full `--sizes 100000 1000000`
-# run documented in benchmarks/bench_clustering_scale.py).
+# Quick serial-vs-overlapped round-pipeline throughput comparison, an
+# indexed-vs-exact clustering scaling spot check, and a 1-vs-2-worker
+# pool scaling spot check; regenerates BENCH_pipeline.json at the repo
+# root (the committed BENCH_clustering.json comes from the full
+# `--sizes 100000 1000000` run and BENCH_workers.json from the full
+# 100k-IP 1/2/4/8-worker run documented in each benchmark module).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_pipeline_throughput.py --ips 512 \
 		--latency 0.02 --out BENCH_pipeline.json
 	$(PYTHON) benchmarks/bench_clustering_scale.py --sizes 20000 \
 		--exact-cap 20000 --out /tmp/BENCH_clustering_smoke.json
+	$(PYTHON) benchmarks/bench_workers_scale.py --ips 4096 \
+		--latency 0.02 --concurrency 24 --shard-size 256 \
+		--workers 1 2 --out /tmp/BENCH_workers_smoke.json
 
 all: test chaos

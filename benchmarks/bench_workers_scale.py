@@ -1,0 +1,224 @@
+"""Worker-pool scaling: one round at 100k IPs across 1/2/4/8 workers.
+
+Against the pure in-memory simulator every operation completes from
+CPU, so extra processes cannot help — real scans win with a worker
+pool because each worker holds its *own* budget of in-flight network
+waits (probe timeouts, GET round-trips).  This bench restores that
+shape: :class:`LatencyTransport` injects a fixed ``asyncio.sleep``
+into every operation and the per-process concurrency is capped, so a
+single process is latency-bound and each added worker multiplies the
+total in-flight budget.  Every run produces the byte-identical record
+set (asserted), making records/sec directly comparable.
+
+Run standalone to (re)generate the committed results file::
+
+    python benchmarks/bench_workers_scale.py --out BENCH_workers.json
+
+Also collected by pytest as a smoke test (small scale, loose bound).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone execution without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import MeasurementStore, WhoWas
+from repro.core.config import (
+    FetchConfig,
+    PlatformConfig,
+    ScanConfig,
+    WorkerConfig,
+)
+from repro.workloads import build_sim_scenario
+
+
+class LatencyTransport:
+    """Adds a fixed event-loop latency to every network operation."""
+
+    def __init__(self, inner, delay: float):
+        self.inner = inner
+        self.delay = delay
+
+    def on_round_start(self, round_id: int) -> None:
+        hook = getattr(self.inner, "on_round_start", None)
+        if callable(hook):
+            hook(round_id)
+
+    async def probe(self, ip, port, timeout):
+        await asyncio.sleep(self.delay)
+        return await self.inner.probe(ip, port, timeout)
+
+    async def banner(self, ip, port, timeout):
+        await asyncio.sleep(self.delay)
+        return await self.inner.banner(ip, port, timeout)
+
+    async def get(self, ip, scheme, path, **kwargs):
+        await asyncio.sleep(self.delay)
+        return await self.inner.get(ip, scheme, path, **kwargs)
+
+
+@dataclass(frozen=True)
+class LatencySimFactory:
+    """Picklable transport factory for spawned workers: rebuild the
+    scenario from parameters, advance it, and wrap it in the same
+    injected latency the coordinator's baseline run used."""
+
+    params: dict
+    latency: float
+
+    def __call__(self, timestamp: int):
+        scenario = build_sim_scenario(dict(self.params))
+        scenario.simulation.advance_to(timestamp)
+        return LatencyTransport(scenario.transport, self.latency)
+
+
+def _config(
+    workers: int, concurrency: int, shard_size: int
+) -> PlatformConfig:
+    return PlatformConfig(
+        scan=ScanConfig(probes_per_second=1e12, concurrency=concurrency),
+        fetch=FetchConfig(workers=concurrency),
+        shard_size=shard_size,
+        workers=WorkerConfig(count=workers),
+    )
+
+
+def run_once(
+    *,
+    workers: int,
+    total_ips: int,
+    latency: float,
+    concurrency: int,
+    seed: int,
+    shard_size: int,
+) -> dict:
+    """One full round over a fresh scenario; returns timing + stats."""
+    params = {"cloud": "ec2", "ips": total_ips, "seed": seed}
+    factory = LatencySimFactory(params, latency)
+    scenario = build_sim_scenario(dict(params))
+    transport = LatencyTransport(scenario.transport, latency)
+    config = _config(workers, concurrency, shard_size)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = MeasurementStore(str(Path(tmp) / "bench.sqlite"))
+        platform = WhoWas(
+            transport, store, config, transport_factory=factory
+        )
+        started = time.perf_counter()
+        summary = platform.run_round(
+            list(scenario.targets), timestamp=scenario.scan_days[0]
+        )
+        elapsed = time.perf_counter() - started
+        rows = sorted(
+            row["ip"] for info in store.rounds()
+            for row in (r.to_row() for r in store.records(info.round_id))
+        )
+        platform.close()
+        store.close()
+    stats = summary.pipeline
+    return {
+        "mode": stats.mode,
+        "workers": workers,
+        "records": stats.records_written,
+        "responsive_ips": rows,
+        "seconds": round(elapsed, 4),
+        "records_per_second": round(stats.records_written / elapsed, 2),
+        "worker_restarts": stats.worker_restarts,
+        "partitions_merged": stats.partitions_merged,
+    }
+
+
+def run_benchmark(
+    total_ips: int = 100_000,
+    latency: float = 0.025,
+    concurrency: int = 32,
+    seed: int = 7,
+    shard_size: int = 1024,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+) -> dict:
+    runs = []
+    for count in worker_counts:
+        run = run_once(
+            workers=count, total_ips=total_ips, latency=latency,
+            concurrency=concurrency, seed=seed, shard_size=shard_size,
+        )
+        runs.append(run)
+    # Byte-equivalence across pool sizes is part of the contract.
+    baseline_ips = runs[0].pop("responsive_ips")
+    for run in runs[1:]:
+        assert run.pop("responsive_ips") == baseline_ips, (
+            f"workers={run['workers']} diverged from the serial record set"
+        )
+    base_rate = runs[0]["records_per_second"]
+    for run in runs:
+        run["speedup"] = round(
+            run["records_per_second"] / base_rate if base_rate else 0.0, 3
+        )
+    return {
+        "benchmark": "workers_scale",
+        "total_ips": total_ips,
+        "shard_size": shard_size,
+        "latency_seconds": latency,
+        "per_process_concurrency": concurrency,
+        "seed": seed,
+        "runs": runs,
+    }
+
+
+def test_two_workers_beat_one_smoke():
+    """Small-scale smoke: with network waits injected, two supervised
+    workers must out-run the single-process pipeline while producing
+    the identical record set (the run_benchmark equivalence assert)."""
+    result = run_benchmark(
+        total_ips=2048, latency=0.02, concurrency=24,
+        shard_size=128, worker_counts=(1, 2),
+    )
+    runs = {run["workers"]: run for run in result["runs"]}
+    assert runs[2]["records"] == runs[1]["records"]
+    assert runs[2]["speedup"] > 1.2, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ips", type=int, default=100_000)
+    parser.add_argument("--latency", type=float, default=0.025,
+                        help="injected per-operation latency in seconds")
+    parser.add_argument("--concurrency", type=int, default=32,
+                        help="per-process in-flight operation cap")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shard-size", type=int, default=1024)
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=[1, 2, 4, 8])
+    parser.add_argument("--out", default=None,
+                        help="write the JSON result here (default: stdout)")
+    args = parser.parse_args(argv)
+    result = run_benchmark(
+        total_ips=args.ips, latency=args.latency,
+        concurrency=args.concurrency, seed=args.seed,
+        shard_size=args.shard_size, worker_counts=tuple(args.workers),
+    )
+    payload = json.dumps(result, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(payload + "\n")
+        for run in result["runs"]:
+            print(f"workers={run['workers']}: "
+                  f"{run['records_per_second']:8.1f} rec/s "
+                  f"({run['speedup']:.2f}x)")
+        print(f"-> {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,9 +34,10 @@ from .core.config import ClusteringConfig
 from .workloads import (
     Campaign,
     CampaignInterrupted,
-    azure_scenario,
-    ec2_scenario,
+    SimTransportFactory,
+    build_sim_scenario,
 )
+from .workloads.campaign import simulation_config
 
 __all__ = ["main", "build_parser"]
 
@@ -137,11 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also serve hostile content (header bombs, "
                                "markup bombs, encoding garbage) at the "
                                "chaos rate")
+    simulate.add_argument("--workers", type=int, default=0,
+                          help="run each round's shards across N "
+                               "supervised worker processes (0/1: "
+                               "in-process; output is byte-identical "
+                               "either way)")
 
     resume = commands.add_parser(
         "resume", help="continue an interrupted simulate campaign"
     )
     resume.add_argument("db", help="round database of the interrupted run")
+    resume.add_argument("--workers", type=int, default=None,
+                        help="override the worker-process count recorded "
+                             "by simulate (default: reuse it)")
 
     scan = commands.add_parser(
         "scan", help="scan real targets over the network (polite defaults)"
@@ -200,6 +209,16 @@ def build_parser() -> argparse.ArgumentParser:
     quarantine.add_argument("--all", action="store_true",
                             help="include already-replayed entries")
 
+    verify = commands.add_parser(
+        "verify",
+        help="recompute per-shard checksums and exit nonzero on any "
+             "mismatch, gap, or orphan row",
+    )
+    verify.add_argument("db")
+    verify.add_argument("--round", type=int, default=None,
+                        help="verify one round only (default: all, "
+                             "including in-progress ones)")
+
     return parser
 
 
@@ -215,31 +234,43 @@ def main(argv: Sequence[str] | None = None) -> int:
         "rounds": _cmd_rounds,
         "stats": _cmd_stats,
         "quarantine": _cmd_quarantine,
+        "verify": _cmd_verify,
     }[args.command]
     return handler(args)
 
 
 def _build_sim_scenario(params: dict):
-    """Assemble the (possibly chaos-wrapped) scenario a parameter dict
-    describes — shared by ``simulate`` and ``resume`` so a resumed
-    campaign sees the byte-identical cloud."""
-    builder = ec2_scenario if params["cloud"] == "ec2" else azure_scenario
-    kwargs = {"total_ips": params["ips"], "seed": params["seed"]}
-    if params.get("days") is not None:
-        kwargs["duration_days"] = params["days"]
-    scenario = builder(**kwargs)
+    """CLI front for :func:`repro.workloads.build_sim_scenario`: same
+    scenario assembly (shared with ``resume`` and spawned partition
+    workers), plus a chatty chaos banner that only the interactive
+    entrypoint should print."""
+    scenario = build_sim_scenario(params)
     chaos_rate = params.get("chaos_rate", 0.0)
     if chaos_rate > 0:
-        from .core import FaultyTransport, chaos_plan, hostile_plan
-
-        seed = params.get("chaos_seed", 0)
-        plan = chaos_plan(seed, rate=chaos_rate)
-        if params.get("chaos_hostile"):
-            plan = hostile_plan(seed, rate=chaos_rate)
-        scenario.transport = FaultyTransport(scenario.transport, plan)
+        plan = scenario.transport.plan
         print(f"chaos: injecting {len(plan.rules)} fault kinds at "
-              f"rate {chaos_rate} (seed {seed})")
+              f"rate {chaos_rate} (seed {params.get('chaos_seed', 0)})")
     return scenario
+
+
+def _sim_campaign(scenario, store, params: dict) -> Campaign:
+    """Build the Campaign for ``simulate``/``resume``, wiring in the
+    supervised worker pool when the parameters ask for one."""
+    import dataclasses
+
+    from .core.config import WorkerConfig
+
+    workers = int(params.get("workers") or 0)
+    config = simulation_config()
+    if workers > 1:
+        config = dataclasses.replace(
+            config, workers=WorkerConfig(count=workers)
+        )
+        return Campaign(
+            scenario, store=store, config=config,
+            transport_factory=SimTransportFactory(dict(params)),
+        )
+    return Campaign(scenario, store=store, config=config)
 
 
 def _finish_campaign(result, store, db_path: str) -> int:
@@ -255,15 +286,17 @@ def _cmd_simulate(args) -> int:
         "cloud": args.cloud, "ips": args.ips, "seed": args.seed,
         "days": args.days, "chaos_rate": args.chaos_rate,
         "chaos_seed": args.chaos_seed, "chaos_hostile": args.chaos_hostile,
+        "workers": args.workers,
     }
     scenario = _build_sim_scenario(params)
+    pool = f", {args.workers} worker processes" if args.workers > 1 else ""
     print(f"simulating {scenario.name}: {len(scenario.targets)} IPs, "
-          f"{len(scenario.scan_days)} rounds")
+          f"{len(scenario.scan_days)} rounds{pool}")
     store = MeasurementStore(args.out)
     store.set_meta("simulate_args", json.dumps(params))
     abort_event = _install_abort_handler()
     try:
-        result = Campaign(scenario, store=store).run(
+        result = _sim_campaign(scenario, store, params).run(
             progress=True, abort_event=abort_event
         )
     except CampaignInterrupted as exc:
@@ -280,8 +313,11 @@ def _cmd_resume(args) -> int:
         print(f"{args.db}: no campaign metadata; not resumable",
               file=sys.stderr)
         return 1
-    scenario = _build_sim_scenario(json.loads(raw))
-    campaign = Campaign(scenario, store=store)
+    params = json.loads(raw)
+    if args.workers is not None:
+        params["workers"] = args.workers
+    scenario = _build_sim_scenario(params)
+    campaign = _sim_campaign(scenario, store, params)
     done = len(json.loads(store.get_meta("completed_days") or "[]"))
     total = len(json.loads(store.get_meta("scan_days") or "[]"))
     partial = store.open_rounds()
@@ -480,6 +516,13 @@ def _cmd_stats(args) -> int:
                   f"avg={avg * 1000:.1f}ms "
                   f"max={stats.writer_max_flush_seconds * 1000:.1f}ms "
                   f"max_batch={stats.writer_max_batch} shards")
+        if stats.worker_count:
+            print(f"  workers  pool={stats.worker_count} "
+                  f"restarts={stats.worker_restarts} "
+                  f"reassigned={stats.partition_reassignments} "
+                  f"failed={stats.partitions_failed} "
+                  f"merged={stats.partitions_merged} "
+                  f"max_heartbeat_age={stats.max_heartbeat_age:.2f}s")
     if shown == 0:
         print("no pipeline telemetry recorded (database predates the "
               "streaming pipeline)", file=sys.stderr)
@@ -535,6 +578,31 @@ def _cmd_quarantine(args) -> int:
     print(f"replayed {replayed} entries "
           f"({failed} still failing, {skipped} skipped)")
     return 0 if failed == 0 else 1
+
+
+def _cmd_verify(args) -> int:
+    store = MeasurementStore(args.db)
+    infos = store.rounds() + store.open_rounds()
+    if args.round is not None:
+        infos = [i for i in infos if i.round_id == args.round]
+        if not infos:
+            print(f"no round {args.round} in {args.db}", file=sys.stderr)
+            return 1
+    if not infos:
+        print("database holds no rounds", file=sys.stderr)
+        return 1
+    failed = 0
+    for info in sorted(infos, key=lambda i: i.round_id):
+        report = store.verify_round(info.round_id)
+        print(report.describe())
+        if not report.ok:
+            failed += 1
+    if failed:
+        print(f"verification FAILED for {failed} of {len(infos)} round(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(infos)} round(s) verified")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

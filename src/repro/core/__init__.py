@@ -11,6 +11,7 @@ from .config import (
     PipelineConfig,
     PlatformConfig,
     ScanConfig,
+    WorkerConfig,
 )
 from .crawler import Crawler, CrawlResult
 from .faults import (
@@ -19,8 +20,12 @@ from .faults import (
     FaultPlan,
     FaultRule,
     FaultyTransport,
+    ProcessChaosPlan,
+    ProcFaultKind,
+    ProcFaultRule,
     chaos_plan,
     hostile_plan,
+    proc_chaos_plan,
 )
 from .features import FeatureExtractor, extract_internal_links, extract_links
 from .fetcher import Fetcher, decode_body, parse_robots
@@ -47,7 +52,22 @@ from .records import (
 )
 from .scanner import RateLimiter, Scanner, SubnetCircuitBreaker
 from .simhash import HASH_BITS, hamming_distance, simhash
-from .store import MeasurementStore, RoundInfo, ShardPayload
+from .store import (
+    MeasurementStore,
+    RoundInfo,
+    RoundVerification,
+    ShardJournalEntry,
+    ShardPayload,
+    shard_checksum,
+)
+from .workers import (
+    PartitionSpec,
+    WorkerRoundReport,
+    WorkerSupervisor,
+    WorkerTask,
+    partition_shards,
+    run_partition,
+)
 from .transport import (
     BodyTruncated,
     ConnectionRefused,
@@ -67,6 +87,7 @@ __all__ = [
     "PipelineConfig",
     "PlatformConfig",
     "ScanConfig",
+    "WorkerConfig",
     "BoundedShardQueue",
     "RoundPipeline",
     "ShardWork",
@@ -78,6 +99,10 @@ __all__ = [
     "FaultyTransport",
     "chaos_plan",
     "hostile_plan",
+    "proc_chaos_plan",
+    "ProcessChaosPlan",
+    "ProcFaultKind",
+    "ProcFaultRule",
     "HOSTILE_CONTENT_KINDS",
     "FeatureExtractor",
     "extract_internal_links",
@@ -111,7 +136,16 @@ __all__ = [
     "simhash",
     "MeasurementStore",
     "RoundInfo",
+    "RoundVerification",
+    "ShardJournalEntry",
     "ShardPayload",
+    "shard_checksum",
+    "PartitionSpec",
+    "WorkerRoundReport",
+    "WorkerSupervisor",
+    "WorkerTask",
+    "partition_shards",
+    "run_partition",
     "HttpResponse",
     "SocketTransport",
     "Transport",

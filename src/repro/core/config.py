@@ -17,6 +17,7 @@ __all__ = [
     "GuardConfig",
     "PipelineConfig",
     "ClusteringConfig",
+    "WorkerConfig",
     "PlatformConfig",
 ]
 
@@ -277,6 +278,68 @@ class ClusteringConfig:
 
 
 @dataclass(frozen=True)
+class WorkerConfig:
+    """Multi-process round execution (:mod:`repro.core.workers`).
+
+    With ``count > 1`` a round's shard sequence is partitioned across a
+    pool of spawned worker processes, each running the normal
+    :class:`~repro.core.pipeline.RoundPipeline` against its own
+    partition journal (a SQLite sidecar of the campaign database).  A
+    supervisor tracks per-worker heartbeats, kills and restarts workers
+    that miss their deadline or exit nonzero, and reassigns incomplete
+    partitions with capped retry + jittered backoff; completed journals
+    are checksum-verified and merged into the canonical shard sequence,
+    so the result is byte-identical to the serial path on the same seed.
+    """
+
+    #: Worker processes per round.  0 or 1 keeps the in-process engines
+    #: (serial / overlapped); >1 enables the multi-process coordinator,
+    #: which requires the platform to be built with a picklable
+    #: ``transport_factory``.
+    count: int = 0
+    #: Multiprocessing start method.  Pinned to ``spawn`` so workers
+    #: rebuild their transport/config from pickled arguments instead of
+    #: inheriting interpreter state — the only way per-partition
+    #: determinism holds identically on Linux and macOS.
+    start_method: str = "spawn"
+    #: Seconds between worker heartbeats.
+    heartbeat_interval: float = 0.2
+    #: A worker whose last heartbeat is older than this is presumed
+    #: wedged: it is SIGKILLed and its partition reassigned.
+    heartbeat_timeout: float = 10.0
+    #: How often the supervisor polls worker state, in seconds.
+    poll_interval: float = 0.1
+    #: A partition that crashes/wedges is retried at most this many
+    #: times before it is declared failed (the pool shrinks by one and
+    #: the partition runs inline in the coordinator as a last resort,
+    #: forcing the round ``degraded``).
+    max_partition_retries: int = 3
+    #: First reassignment backoff in seconds; doubles per attempt with
+    #: deterministic jitter, capped at ``retry_backoff_max``.
+    retry_backoff_base: float = 0.1
+    retry_backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if self.start_method != "spawn":
+            raise ValueError(
+                "start_method must be 'spawn' (fork would inherit live "
+                "event-loop and sqlite state and breaks determinism)"
+            )
+        if self.heartbeat_interval <= 0 or self.poll_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval"
+            )
+        if self.max_partition_retries < 0:
+            raise ValueError("max_partition_retries must be non-negative")
+        if self.retry_backoff_base < 0 or self.retry_backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+
+
+@dataclass(frozen=True)
 class PlatformConfig:
     """Top-level WhoWas configuration."""
 
@@ -285,6 +348,7 @@ class PlatformConfig:
     guard: GuardConfig = field(default_factory=GuardConfig)
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+    workers: WorkerConfig = field(default_factory=WorkerConfig)
     #: IPs that must never be probed (tenant opt-outs; §4, §7).
     blacklist: frozenset[int] = frozenset()
     #: Also read the SSH banner from IPs with port 22 open (one extra

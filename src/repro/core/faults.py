@@ -40,6 +40,10 @@ __all__ = [
     "chaos_plan",
     "hostile_plan",
     "HOSTILE_CONTENT_KINDS",
+    "ProcFaultKind",
+    "ProcFaultRule",
+    "ProcessChaosPlan",
+    "proc_chaos_plan",
 ]
 
 
@@ -258,6 +262,159 @@ def _hostile_response(kind: FaultKind, max_body: int) -> HttpResponse:
     body = body[:max_body]
     headers["Content-Length"] = str(len(body))
     return HttpResponse(200, headers, body)
+
+
+class ProcFaultKind(enum.Enum):
+    """Process-level fault classes for the multi-process round engine.
+
+    Worker-side kinds fire inside a spawned partition worker (the plan
+    travels to it pickled with the task); journal kinds fire in the
+    coordinator, damaging a completed partition journal before its
+    checksum verification — exactly the torn-file failure a host crash
+    or disk fault would produce.
+    """
+
+    #: Worker SIGKILLs itself at a shard boundary, mid-partition —
+    #: the journal keeps the shards committed so far.
+    KILL_MID_SHARD = "kill-mid-shard"
+    #: Worker blocks its event loop (a wedged syscall): heartbeats
+    #: stop and the supervisor must notice and SIGKILL it.
+    FREEZE = "freeze"
+    #: Scribble bytes over the partition journal before merge.
+    CORRUPT_JOURNAL = "corrupt-journal"
+    #: Truncate the partition journal file before merge.
+    TRUNCATE_JOURNAL = "truncate-journal"
+
+
+#: Kinds injected inside the worker process (at shard boundaries).
+WORKER_PROC_KINDS = frozenset({
+    ProcFaultKind.KILL_MID_SHARD,
+    ProcFaultKind.FREEZE,
+})
+
+#: Kinds applied by the coordinator to a completed partition journal.
+JOURNAL_PROC_KINDS = frozenset({
+    ProcFaultKind.CORRUPT_JOURNAL,
+    ProcFaultKind.TRUNCATE_JOURNAL,
+})
+
+
+@dataclass(frozen=True)
+class ProcFaultRule:
+    """One scoped process fault: *kind* fires with *probability* where
+    the (round, partition, attempt, shard) scope matches.  ``None``
+    scope fields match everything.  Scoping ``attempts={0}`` is the
+    usual pattern: the first execution of a partition dies and the
+    supervised retry must heal it."""
+
+    kind: ProcFaultKind
+    probability: float = 1.0
+    rounds: frozenset[int] | None = None
+    partitions: frozenset[int] | None = None
+    attempts: frozenset[int] | None = None
+    #: Local shard ordinal (within the partition) the worker-side fault
+    #: triggers at; ignored by journal kinds.
+    shard_ordinal: int = 1
+    #: Seconds a FREEZE blocks the worker's loop.
+    freeze_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.shard_ordinal < 0:
+            raise ValueError("shard_ordinal must be non-negative")
+        if self.freeze_seconds < 0:
+            raise ValueError("freeze_seconds must be non-negative")
+        for name in ("rounds", "partitions", "attempts"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, frozenset):
+                object.__setattr__(self, name, frozenset(value))
+
+    def matches(self, round_id: int, partition: int, attempt: int) -> bool:
+        if self.rounds is not None and round_id not in self.rounds:
+            return False
+        if self.partitions is not None and partition not in self.partitions:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class ProcessChaosPlan:
+    """A seeded, ordered set of process-fault rules.
+
+    Like :class:`FaultPlan`, every decision is a pure function of
+    ``(seed, rule index, scope, round, partition, attempt)``, so a
+    chaos run replays identically from its seed — in the coordinator
+    *and* in every spawned worker the plan is pickled into.
+    """
+
+    seed: int = 0
+    rules: tuple[ProcFaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    def fault_for(
+        self,
+        scope: str,
+        round_id: int,
+        partition: int,
+        attempt: int,
+    ) -> ProcFaultRule | None:
+        """The rule that fires in *scope* (``"worker"`` at a shard
+        boundary or ``"journal"`` before merge), or None."""
+        wanted = WORKER_PROC_KINDS if scope == "worker" else JOURNAL_PROC_KINDS
+        for index, rule in enumerate(self.rules):
+            if rule.kind not in wanted:
+                continue
+            if not rule.matches(round_id, partition, attempt):
+                continue
+            if rule.probability >= 1.0 or self._draw(
+                index, scope, round_id, partition, attempt
+            ) < rule.probability:
+                return rule
+        return None
+
+    def _draw(
+        self, index: int, scope: str, round_id: int, partition: int,
+        attempt: int,
+    ) -> float:
+        # Same idiom as FaultPlan._draw: str seeds hash through sha512,
+        # stable across processes and PYTHONHASHSEED values.
+        key = f"{self.seed}:{index}:{scope}:{round_id}:{partition}:{attempt}"
+        return random.Random(key).random()
+
+
+def proc_chaos_plan(
+    seed: int = 0,
+    *,
+    rate: float = 1.0,
+    kinds: Iterable[ProcFaultKind] = (ProcFaultKind.KILL_MID_SHARD,),
+    rounds: Iterable[int] | None = None,
+    partitions: Iterable[int] | None = None,
+    attempts: Iterable[int] | None = (0,),
+    shard_ordinal: int = 1,
+    freeze_seconds: float = 30.0,
+) -> ProcessChaosPlan:
+    """One-liner the chaos suite builds process storms from.  The
+    default scope (``attempts={0}``) kills the first execution of every
+    matched partition and lets the supervised retry complete it."""
+    scope = {
+        "rounds": frozenset(rounds) if rounds is not None else None,
+        "partitions": frozenset(partitions) if partitions is not None else None,
+        "attempts": frozenset(attempts) if attempts is not None else None,
+    }
+    rules = tuple(
+        ProcFaultRule(
+            kind=kind, probability=rate, shard_ordinal=shard_ordinal,
+            freeze_seconds=freeze_seconds, **scope,
+        )
+        for kind in kinds
+    )
+    return ProcessChaosPlan(seed=seed, rules=rules)
 
 
 class FaultyTransport:

@@ -119,6 +119,14 @@ class WhoWas:
         campaign database never reuses an ID.
     config:
         Scanner/fetcher parameters; defaults follow the paper.
+    transport_factory:
+        Picklable ``factory(timestamp) -> Transport`` that rebuilds the
+        network from parameters alone; required when
+        ``config.workers.count > 1`` (each spawned partition worker
+        builds its own transport from it).
+    proc_chaos:
+        Process-level fault plan for the multi-process engine (chaos
+        tier only).
     """
 
     def __init__(
@@ -126,9 +134,14 @@ class WhoWas:
         transport: Transport,
         store: MeasurementStore | None = None,
         config: PlatformConfig | None = None,
+        *,
+        transport_factory=None,
+        proc_chaos=None,
     ):
         self.config = config or PlatformConfig()
         self.transport = transport
+        self.transport_factory = transport_factory
+        self.proc_chaos = proc_chaos
         self.store = store or MeasurementStore()
         self.scanner = Scanner(
             transport, self.config.scan, blacklist=self.config.blacklist
@@ -168,6 +181,11 @@ class WhoWas:
         Passing *resume_round_id* re-enters such a round: committed
         shards are skipped, so no row is ever duplicated.
         """
+        if self.config.workers.count > 1:
+            raise RuntimeError(
+                "multi-process rounds (workers.count > 1) must go through "
+                "the synchronous run_round(), which owns the worker pool"
+            )
         started = time.perf_counter()
         if resume_round_id is not None:
             round_id = resume_round_id
@@ -342,6 +360,130 @@ class WhoWas:
         return stats, aborted
 
     # ------------------------------------------------------------------
+    # multi-process engine
+
+    async def run_partition_async(
+        self,
+        work_items,
+        *,
+        round_id: int,
+        timestamp: int,
+    ) -> PipelineStats:
+        """Run a subset of a round's shards into this platform's store
+        — the partition-worker entry point (:mod:`repro.core.workers`).
+        The caller owns the round lifecycle: ``begin_round`` must
+        already have run against this platform's store, and nothing is
+        finalized here."""
+        round_hook = getattr(self.transport, "on_round_start", None)
+        if callable(round_hook):
+            round_hook(round_id)
+        self.scanner.breaker.reset()
+        self.guard.start_round(round_id, timestamp)
+        if self.config.pipeline.overlap:
+            stats, _ = await self._run_overlapped(work_items, round_id, None)
+        else:
+            stats, _ = await self._run_serial(work_items, round_id, None)
+        return stats
+
+    def _run_round_multiprocess(
+        self,
+        targets: Sequence[int],
+        timestamp: int,
+        *,
+        abort_event: asyncio.Event | None,
+        resume_round_id: int | None,
+    ) -> RoundSummary:
+        """Coordinator for ``workers.count > 1``: partition the round's
+        shards across spawned workers under a
+        :class:`~repro.core.workers.WorkerSupervisor`, then finalize
+        from the merged canonical journal exactly as the in-process
+        engines would."""
+        from .workers import WorkerSupervisor
+
+        if self.transport_factory is None:
+            raise ValueError(
+                "workers.count > 1 requires a picklable transport_factory"
+            )
+        started = time.perf_counter()
+        if resume_round_id is not None:
+            round_id = resume_round_id
+            info = self.store.begin_round(
+                round_id, timestamp, len(targets),
+                shard_size=self.config.shard_size,
+            )
+            shard_size = info.shard_size or self.config.shard_size
+        else:
+            round_id = self._next_round_id
+            self.store.begin_round(
+                round_id, timestamp, len(targets),
+                shard_size=self.config.shard_size,
+            )
+            shard_size = self.config.shard_size
+        self._next_round_id = max(self._next_round_id, round_id + 1)
+
+        shards = [
+            targets[start:start + shard_size]
+            for start in range(0, len(targets), shard_size)
+        ] or [targets]
+        done = self.store.completed_shards(round_id)
+        remaining = [
+            (index, tuple(shard))
+            for index, shard in enumerate(shards)
+            if index not in done
+        ]
+        writer_before = self.store.writer_stats_snapshot()
+        supervisor = WorkerSupervisor(
+            self.store, self.config, self.transport_factory,
+            chaos=self.proc_chaos,
+        )
+        report = supervisor.run(
+            remaining, round_id=round_id, timestamp=timestamp,
+            abort_event=abort_event,
+        )
+        if report.aborted:
+            raise RoundInterrupted(
+                round_id, timestamp,
+                len(self.store.completed_shards(round_id)), len(shards),
+            )
+        stats = report.stats
+        writer_after = self.store.writer_stats_snapshot()
+        stats.writer_flushes = (
+            writer_after["flush_count"] - writer_before["flush_count"]
+        )
+        stats.writer_flush_seconds = (
+            writer_after["flush_seconds"] - writer_before["flush_seconds"]
+        )
+        stats.writer_max_flush_seconds = writer_after["max_flush_seconds"]
+        stats.writer_max_batch = max(stats.writer_max_batch, 1)
+        stats.wall_seconds = time.perf_counter() - started
+
+        errors, operations = self.store.shard_stats(round_id)
+        budget = self.config.round_error_budget
+        degraded = (
+            budget < 1.0
+            and operations > 0
+            and errors / operations > budget
+        ) or report.forced_degraded
+        info = self.store.finalize_round(
+            round_id, degraded=degraded, error_count=errors,
+            duration_seconds=time.perf_counter() - started,
+        )
+        self.store.set_meta(
+            f"{PIPELINE_STATS_META_PREFIX}{round_id}",
+            json.dumps(stats.to_dict(), sort_keys=True),
+        )
+        round_stats = self.store.round_stats(round_id)
+        return RoundSummary(
+            info=info,
+            responsive=round_stats["responsive"],
+            available=round_stats["available"],
+            fetched=round_stats["fetched"],
+            errors=errors,
+            quarantined=self.store.quarantine_count(round_id),
+            pipeline=stats,
+        )
+
+    # ------------------------------------------------------------------
     # shard stages (shared by both engines)
 
     async def _scan_shard(self, work: ShardWork) -> int:
@@ -422,7 +564,17 @@ class WhoWas:
         would rebuild every loop-bound primitive each time); call
         :meth:`close` — or use the platform as a context manager — to
         release it.
+
+        With ``config.workers.count > 1`` the round instead runs on the
+        multi-process engine: shards are partitioned across spawned
+        workers and merged back through the checksum-verified journal
+        protocol — byte-identical results, supervised execution.
         """
+        if self.config.workers.count > 1:
+            return self._run_round_multiprocess(
+                targets, timestamp,
+                abort_event=abort_event, resume_round_id=resume_round_id,
+            )
         try:
             asyncio.get_running_loop()
         except RuntimeError:

@@ -292,7 +292,8 @@ class PipelineStats:
     ``repro stats`` can reconstruct the throughput picture later.
     """
 
-    #: ``"overlapped"`` (streaming stage-parallel) or ``"serial"``.
+    #: ``"overlapped"`` (streaming stage-parallel), ``"serial"``, or
+    #: ``"multiprocess"`` (partitioned worker pool).
     mode: str
     #: Wall-clock of the whole round body (shard processing + drain).
     wall_seconds: float = 0.0
@@ -305,6 +306,22 @@ class PipelineStats:
     writer_max_flush_seconds: float = 0.0
     #: Largest number of shards committed in one batch transaction.
     writer_max_batch: int = 0
+    # -- multi-process supervision telemetry (zero outside --workers) --
+    #: Size of the worker pool the round started with.
+    worker_count: int = 0
+    #: Worker processes killed (missed heartbeat) or found dead
+    #: (nonzero exit / incomplete journal) and replaced.
+    worker_restarts: int = 0
+    #: Partitions put back on the queue after a worker failure.
+    partition_reassignments: int = 0
+    #: Partitions that exhausted their retries and fell back to an
+    #: inline run in the coordinator (forces the round degraded).
+    partitions_failed: int = 0
+    #: Partition journals whose shards were merged into the store
+    #: (includes salvaged journals from a crashed coordinator).
+    partitions_merged: int = 0
+    #: Oldest heartbeat age observed across all workers, seconds.
+    max_heartbeat_age: float = 0.0
     stages: dict[str, StageStats] = field(default_factory=dict)
 
     @property
@@ -329,6 +346,12 @@ class PipelineStats:
             "writer_flush_seconds": self.writer_flush_seconds,
             "writer_max_flush_seconds": self.writer_max_flush_seconds,
             "writer_max_batch": self.writer_max_batch,
+            "worker_count": self.worker_count,
+            "worker_restarts": self.worker_restarts,
+            "partition_reassignments": self.partition_reassignments,
+            "partitions_failed": self.partitions_failed,
+            "partitions_merged": self.partitions_merged,
+            "max_heartbeat_age": self.max_heartbeat_age,
             "stages": {
                 name: stage.to_dict() for name, stage in self.stages.items()
             },

@@ -33,15 +33,30 @@ A crash between shards leaves a resumable partial round that
 The ``campaign_meta`` key/value table carries campaign-level progress
 (scenario name, completed days, seeds) so ``repro resume`` can pick a
 campaign back up from the database alone.
+
+Shard integrity
+---------------
+Every committed shard journals a **checksum**: a blake2b digest over
+the canonical JSON of its rows, in insertion order.  Checksums make
+torn or tampered data detectable — the multi-process coordinator
+verifies a partition journal's shards before merging them into the
+canonical store, and ``repro verify`` recomputes every round's shard
+digests offline (:meth:`verify_round`).  Each row also carries the
+``shard_index`` it was committed under, so rows can be attributed to
+their journal entry regardless of the order shards landed in.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import math
+import random
 import sqlite3
 import threading
 import time
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from .records import PageFeatures, QuarantineRecord, RoundRecord
 
@@ -51,7 +66,10 @@ __all__ = [
     "ROUND_DEGRADED",
     "RoundInfo",
     "ShardPayload",
+    "ShardJournalEntry",
+    "RoundVerification",
     "MeasurementStore",
+    "shard_checksum",
 ]
 
 #: ``rounds.round_status`` values of the journaled protocol.
@@ -88,6 +106,24 @@ _COLUMNS: tuple[tuple[str, str], ...] = (
 )
 
 _COLUMN_NAMES = tuple(name for name, _ in _COLUMNS)
+
+
+def shard_checksum(rows: Iterable[Mapping]) -> str:
+    """Digest of one shard's rows (insertion order): blake2b over each
+    row's canonical JSON (:meth:`RoundRecord.to_row` dicts with sorted
+    keys).  Written to ``round_shards.checksum`` at commit time and
+    recomputed by :meth:`MeasurementStore.verify_round` and the
+    partition-journal merge."""
+    digest = hashlib.blake2b(digest_size=16)
+    for row in rows:
+        digest.update(
+            json.dumps(
+                dict(row), sort_keys=True, separators=(",", ":"),
+                ensure_ascii=False,
+            ).encode("utf-8")
+        )
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -140,10 +176,96 @@ class ShardPayload:
     quarantine: tuple[QuarantineRecord, ...] = ()
 
 
+@dataclass(frozen=True)
+class ShardJournalEntry:
+    """One row of the ``round_shards`` journal."""
+
+    round_id: int
+    shard_index: int
+    record_count: int
+    errors: int = 0
+    operations: int = 0
+    #: blake2b digest of the shard's rows ('' for pre-checksum shards).
+    checksum: str = ""
+    #: Quarantine entries committed with the shard.
+    quarantine_count: int = 0
+
+
+@dataclass
+class RoundVerification:
+    """Result of :meth:`MeasurementStore.verify_round`: the round
+    journal walked, per-shard checksums recomputed."""
+
+    round_id: int
+    timestamp: int
+    status: str
+    #: Shards present in the journal.
+    shards: int = 0
+    #: Shards whose recomputed digest matched the journaled one.
+    verified: int = 0
+    #: Expected shard indices with no journal entry (finalized rounds).
+    missing: list[int] = field(default_factory=list)
+    #: Shards whose rows no longer match their journaled checksum or
+    #: record count.
+    corrupt: list[int] = field(default_factory=list)
+    #: Shards written before checksums existed (nothing to verify).
+    unverifiable: list[int] = field(default_factory=list)
+    #: Rows in the round table not attributed to any journaled shard.
+    orphan_rows: int = 0
+    #: Quarantine entries not attributed to any journaled shard.
+    orphan_quarantine: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.missing and not self.corrupt
+            and self.orphan_rows == 0 and self.orphan_quarantine == 0
+        )
+
+    def describe(self) -> str:
+        """One human-readable line for ``repro verify``."""
+        parts = [f"{self.verified}/{self.shards} shards verified"]
+        if self.unverifiable:
+            parts.append(f"{len(self.unverifiable)} unverifiable (legacy)")
+        if self.missing:
+            parts.append(f"MISSING shards {self.missing}")
+        if self.corrupt:
+            parts.append(f"CORRUPT shards {self.corrupt}")
+        if self.orphan_rows:
+            parts.append(f"{self.orphan_rows} orphan rows")
+        if self.orphan_quarantine:
+            parts.append(f"{self.orphan_quarantine} orphan quarantine entries")
+        state = "ok" if self.ok else "FAIL"
+        return (
+            f"round {self.round_id} (day {self.timestamp}, {self.status}): "
+            f"{state} — " + ", ".join(parts)
+        )
+
+
 class MeasurementStore:
     """sqlite3-backed store with one table per scan round."""
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        busy_timeout_ms: int = 5_000,
+        busy_retries: int = 5,
+        busy_backoff_base: float = 0.05,
+        busy_backoff_max: float = 1.0,
+    ):
+        #: The database file this store is backed by (":memory:" for
+        #: ephemeral stores) — the coordinator derives partition-journal
+        #: paths from it.
+        self.path = path
+        # Contended writers (coordinator merge vs. a live reader, or
+        # two processes sharing a file) surface as SQLITE_BUSY; the
+        # busy_timeout handles intra-transaction waits and _commit()
+        # adds a bounded jittered retry loop on top.
+        self._busy_retries = busy_retries
+        self._busy_backoff_base = busy_backoff_base
+        self._busy_backoff_max = busy_backoff_max
+        self._busy_random = random.Random()  # jitter only, never data
         # The pipeline's writer stage may run batch commits in a worker
         # thread (PipelineConfig.writer_offload) so fsync never blocks
         # the event loop; the RLock serialises all connection access.
@@ -163,6 +285,7 @@ class MeasurementStore:
         # silently keeps the "memory" journal for :memory: stores.
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS rounds ("
             "  round_id INTEGER PRIMARY KEY,"
@@ -183,6 +306,8 @@ class MeasurementStore:
             "  record_count INTEGER NOT NULL,"
             "  errors INTEGER NOT NULL DEFAULT 0,"
             "  operations INTEGER NOT NULL DEFAULT 0,"
+            "  checksum TEXT NOT NULL DEFAULT '',"
+            "  quarantine_count INTEGER NOT NULL DEFAULT 0,"
             "  PRIMARY KEY (round_id, shard_index)"
             ")"
         )
@@ -207,11 +332,13 @@ class MeasurementStore:
             "  error_class TEXT,"
             "  error TEXT,"
             "  payload TEXT NOT NULL DEFAULT '',"
-            "  replayed INTEGER NOT NULL DEFAULT 0"
+            "  replayed INTEGER NOT NULL DEFAULT 0,"
+            "  shard_index INTEGER NOT NULL DEFAULT 0"
             ")"
         )
         self._migrate_rounds_table()
-        self._conn.commit()
+        self._migrate_shard_tables()
+        self._commit()
 
     def _migrate_rounds_table(self) -> None:
         """Upgrade databases written before the resilience/journal
@@ -248,6 +375,63 @@ class MeasurementStore:
                 "ALTER TABLE rounds ADD COLUMN duration_seconds "
                 "REAL NOT NULL DEFAULT 0"
             )
+
+    def _migrate_shard_tables(self) -> None:
+        """Upgrade databases written before shard checksums existed.
+        Legacy shards keep an empty checksum — :meth:`verify_round`
+        reports them *unverifiable* rather than corrupt."""
+        existing = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(round_shards)")
+        }
+        if "checksum" not in existing:
+            self._conn.execute(
+                "ALTER TABLE round_shards ADD COLUMN checksum "
+                "TEXT NOT NULL DEFAULT ''"
+            )
+        if "quarantine_count" not in existing:
+            self._conn.execute(
+                "ALTER TABLE round_shards ADD COLUMN quarantine_count "
+                "INTEGER NOT NULL DEFAULT 0"
+            )
+        quarantine_cols = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(quarantine)")
+        }
+        if quarantine_cols and "shard_index" not in quarantine_cols:
+            self._conn.execute(
+                "ALTER TABLE quarantine ADD COLUMN shard_index "
+                "INTEGER NOT NULL DEFAULT 0"
+            )
+
+    def _table_has_column(self, table: str, column: str) -> bool:
+        return any(
+            row["name"] == column
+            for row in self._conn.execute(f"PRAGMA table_info({table})")
+        )
+
+    def _commit(self) -> None:
+        """Commit with a bounded jittered-backoff retry on SQLITE_BUSY.
+
+        ``busy_timeout`` already makes sqlite wait inside one attempt;
+        this loop covers writers that keep losing the race (e.g. the
+        coordinator merging a partition while a reporting tool holds
+        the database).  A failed commit leaves the transaction open, so
+        re-issuing it is safe; anything but a busy/locked error — and
+        the final exhausted attempt — propagates."""
+        delay = self._busy_backoff_base
+        for attempt in range(self._busy_retries + 1):
+            try:
+                self._conn.commit()
+                return
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt == self._busy_retries:
+                    raise
+                time.sleep(delay * (0.5 + self._busy_random.random()))
+                delay = min(delay * 2, self._busy_backoff_max)
 
     # ------------------------------------------------------------------
     # journaled writes
@@ -301,19 +485,29 @@ class MeasurementStore:
                         "DELETE FROM rounds WHERE round_id = ?", (round_id,)
                     )
                 elif row["round_status"] == ROUND_IN_PROGRESS:
-                    return self._any_round(round_id)  # resume: keep shards
+                    # Resume: keep shards.  Tables written before the
+                    # shard_index bookkeeping column gain it here so
+                    # the remaining shards insert cleanly.
+                    if not self._table_has_column(table, "shard_index"):
+                        self._conn.execute(
+                            f"ALTER TABLE {table} ADD COLUMN shard_index "
+                            "INTEGER NOT NULL DEFAULT 0"
+                        )
+                        self._commit()
+                    return self._any_round(round_id)
                 else:
                     raise ValueError(f"round {round_id} is already finalized")
             columns_sql = ", ".join(f"{name} {sql}" for name, sql in _COLUMNS)
             self._conn.execute(
-                f"CREATE TABLE IF NOT EXISTS {table} ({columns_sql})"
+                f"CREATE TABLE IF NOT EXISTS {table} "
+                f"({columns_sql}, shard_index INTEGER NOT NULL DEFAULT 0)"
             )
             self._conn.execute(
                 "INSERT INTO rounds VALUES (?, ?, ?, 0, 0, 0, ?, ?, 0)",
                 (round_id, timestamp, targets_probed, ROUND_IN_PROGRESS,
                  shard_size),
             )
-            self._conn.commit()
+            self._commit()
             return self._any_round(round_id)
 
     def write_shard(
@@ -345,7 +539,7 @@ class MeasurementStore:
                     errors=errors, operations=operations,
                     quarantine=quarantine,
                 )
-                self._conn.commit()
+                self._commit()
             except BaseException:
                 self._conn.rollback()
                 raise
@@ -377,7 +571,7 @@ class MeasurementStore:
                         errors=shard.errors, operations=shard.operations,
                         quarantine=shard.quarantine,
                     )
-                self._conn.commit()
+                self._commit()
             except BaseException:
                 self._conn.rollback()
                 raise
@@ -403,31 +597,38 @@ class MeasurementStore:
         ).fetchone()
         if already is not None:
             return False
-        rows = list(records)
+        row_dicts = [record.to_row() for record in records]
+        checksum = shard_checksum(row_dicts)
+        entries = list(quarantine)
         placeholders = ", ".join("?" for _ in _COLUMN_NAMES)
+        # Each row carries the shard index it was committed under so
+        # verification/merge can attribute rows to journal entries in
+        # any landing order (resume, partition merge, salvage).
         self._conn.executemany(
-            f"INSERT INTO {info.table_name} ({', '.join(_COLUMN_NAMES)}) "
-            f"VALUES ({placeholders})",
+            f"INSERT INTO {info.table_name} "
+            f"({', '.join(_COLUMN_NAMES)}, shard_index) "
+            f"VALUES ({placeholders}, ?)",
             (
-                tuple(record.to_row()[name] for name in _COLUMN_NAMES)
-                for record in rows
+                tuple(row[name] for name in _COLUMN_NAMES) + (shard_index,)
+                for row in row_dicts
             ),
         )
         self._conn.executemany(
             "INSERT INTO quarantine "
             "(round_id, ip, timestamp, stage, verdict, error_class,"
-            " error, payload, replayed) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " error, payload, replayed, shard_index) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 (entry.round_id, entry.ip, entry.timestamp, entry.stage,
                  entry.verdict, entry.error_class, entry.error,
-                 entry.payload, int(entry.replayed))
-                for entry in quarantine
+                 entry.payload, int(entry.replayed), shard_index)
+                for entry in entries
             ),
         )
         self._conn.execute(
-            "INSERT INTO round_shards VALUES (?, ?, ?, ?, ?)",
-            (info.round_id, shard_index, len(rows), errors, operations),
+            "INSERT INTO round_shards VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (info.round_id, shard_index, len(row_dicts), errors, operations,
+             checksum, len(entries)),
         )
         return True
 
@@ -478,7 +679,7 @@ class MeasurementStore:
                 (responsive, int(degraded), error_count, status,
                  float(duration_seconds), round_id),
             )
-            self._conn.commit()
+            self._commit()
             return RoundInfo(
                 round_id, info.timestamp, info.targets_probed, responsive,
                 degraded=degraded, error_count=error_count, status=status,
@@ -539,6 +740,113 @@ class MeasurementStore:
         ).fetchone()
         return int(row[0]), int(row[1])
 
+    # ------------------------------------------------------------------
+    # shard journal & integrity
+
+    def shard_journal(self, round_id: int) -> list[ShardJournalEntry]:
+        """The round's committed-shard journal, ascending shard index."""
+        cursor = self._conn.execute(
+            "SELECT round_id, shard_index, record_count, errors,"
+            " operations, checksum, quarantine_count"
+            " FROM round_shards WHERE round_id = ? ORDER BY shard_index",
+            (round_id,),
+        )
+        return [
+            ShardJournalEntry(
+                round_id=row["round_id"], shard_index=row["shard_index"],
+                record_count=row["record_count"], errors=row["errors"],
+                operations=row["operations"], checksum=row["checksum"],
+                quarantine_count=row["quarantine_count"],
+            )
+            for row in cursor.fetchall()
+        ]
+
+    def shard_records(
+        self, round_id: int, shard_index: int
+    ) -> list[RoundRecord]:
+        """One committed shard's rows in insertion order (works on
+        rounds of any status — the merge path reads partition journals
+        that are still ``in_progress``)."""
+        info = self._any_round(round_id)
+        cursor = self._conn.execute(
+            f"SELECT * FROM {info.table_name} WHERE shard_index = ? "
+            "ORDER BY rowid",
+            (shard_index,),
+        )
+        return [RoundRecord.from_row(row) for row in cursor.fetchall()]
+
+    def shard_quarantine(
+        self, round_id: int, shard_index: int
+    ) -> list[QuarantineRecord]:
+        """Quarantine entries committed with one shard, oldest first."""
+        cursor = self._conn.execute(
+            "SELECT * FROM quarantine "
+            "WHERE round_id = ? AND shard_index = ? ORDER BY entry_id",
+            (round_id, shard_index),
+        )
+        return [QuarantineRecord.from_row(row) for row in cursor.fetchall()]
+
+    def verify_round(self, round_id: int) -> RoundVerification:
+        """Walk one round's shard journal and recompute every shard's
+        checksum: reports missing shards (journal gaps in a finalized
+        round), corrupt shards (digest or row-count mismatch), legacy
+        shards with no digest, and orphaned rows/quarantine entries not
+        attributed to any journaled shard."""
+        with self._lock:
+            info = self._any_round(round_id)
+            entries = self.shard_journal(round_id)
+            report = RoundVerification(
+                round_id=round_id, timestamp=info.timestamp,
+                status=info.status, shards=len(entries),
+            )
+            present = {entry.shard_index for entry in entries}
+            if info.status != ROUND_IN_PROGRESS:
+                if info.shard_size > 0:
+                    expected = max(
+                        1, math.ceil(info.targets_probed / info.shard_size)
+                    )
+                    report.missing = sorted(set(range(expected)) - present)
+                elif entries and 0 not in present:
+                    report.missing = [0]
+            if not self._table_has_column(info.table_name, "shard_index"):
+                # Pre-checksum table: rows cannot be attributed.
+                report.unverifiable = sorted(present)
+                return report
+            attributed_rows = 0
+            attributed_quarantine = 0
+            for entry in entries:
+                rows = [
+                    record.to_row()
+                    for record in self.shard_records(
+                        round_id, entry.shard_index
+                    )
+                ]
+                attributed_rows += len(rows)
+                attributed_quarantine += self._conn.execute(
+                    "SELECT COUNT(*) FROM quarantine "
+                    "WHERE round_id = ? AND shard_index = ?",
+                    (round_id, entry.shard_index),
+                ).fetchone()[0]
+                if not entry.checksum:
+                    report.unverifiable.append(entry.shard_index)
+                    continue
+                if (
+                    len(rows) != entry.record_count
+                    or shard_checksum(rows) != entry.checksum
+                ):
+                    report.corrupt.append(entry.shard_index)
+                else:
+                    report.verified += 1
+            total_rows = self._conn.execute(
+                f"SELECT COUNT(*) FROM {info.table_name}"
+            ).fetchone()[0]
+            total_quarantine = self.quarantine_count(round_id)
+            report.orphan_rows = total_rows - attributed_rows
+            report.orphan_quarantine = (
+                total_quarantine - attributed_quarantine
+            )
+            return report
+
     def delete_partial(self, round_id: int) -> None:
         """Discard an ``in_progress`` round entirely (table, journal,
         metadata).  Finalized rounds are protected: ValueError."""
@@ -554,7 +862,7 @@ class MeasurementStore:
         self._conn.execute(
             "DELETE FROM rounds WHERE round_id = ?", (round_id,)
         )
-        self._conn.commit()
+        self._commit()
 
     def max_round_id(self) -> int:
         """Highest round_id ever assigned (0 for an empty store),
@@ -579,7 +887,7 @@ class MeasurementStore:
              entry.verdict, entry.error_class, entry.error,
              entry.payload, int(entry.replayed)),
         )
-        self._conn.commit()
+        self._commit()
         return int(cursor.lastrowid)
 
     def quarantine_rows(
@@ -620,28 +928,50 @@ class MeasurementStore:
             "UPDATE quarantine SET replayed = 1 WHERE entry_id = ?",
             (entry_id,),
         )
-        self._conn.commit()
+        self._commit()
 
     def update_features(
         self, round_id: int, ip: int, features: PageFeatures
     ) -> bool:
         """Overwrite one row's feature columns — the ``repro quarantine
         replay`` path, where a fixed extractor re-processes a stored
-        body.  Returns False when the IP has no row in the round."""
-        info = self._any_round(round_id)
-        cursor = self._conn.execute(
-            f"UPDATE {info.table_name} SET"
-            " powered_by = ?, description = ?, header_string = ?,"
-            " html_length = ?, title = ?, template = ?, server = ?,"
-            " keywords = ?, analytics_id = ?, simhash = ?"
-            " WHERE ip = ?",
-            (features.powered_by, features.description,
-             features.header_string, features.html_length, features.title,
-             features.template, features.server, features.keywords,
-             features.analytics_id, f"{features.simhash:024x}", ip),
-        )
-        self._conn.commit()
-        return cursor.rowcount > 0
+        body.  Returns False when the IP has no row in the round.  The
+        owning shard's journaled checksum is recomputed so a legitimate
+        replay is distinguishable from silent corruption."""
+        with self._lock:
+            info = self._any_round(round_id)
+            cursor = self._conn.execute(
+                f"UPDATE {info.table_name} SET"
+                " powered_by = ?, description = ?, header_string = ?,"
+                " html_length = ?, title = ?, template = ?, server = ?,"
+                " keywords = ?, analytics_id = ?, simhash = ?"
+                " WHERE ip = ?",
+                (features.powered_by, features.description,
+                 features.header_string, features.html_length, features.title,
+                 features.template, features.server, features.keywords,
+                 features.analytics_id, f"{features.simhash:024x}", ip),
+            )
+            if (
+                cursor.rowcount > 0
+                and self._table_has_column(info.table_name, "shard_index")
+            ):
+                owner = self._conn.execute(
+                    f"SELECT shard_index FROM {info.table_name} WHERE ip = ?",
+                    (ip,),
+                ).fetchone()
+                if owner is not None:
+                    rows = [
+                        record.to_row()
+                        for record in self.shard_records(round_id, owner[0])
+                    ]
+                    self._conn.execute(
+                        "UPDATE round_shards SET checksum = ? "
+                        "WHERE round_id = ? AND shard_index = ? "
+                        "AND checksum != ''",
+                        (shard_checksum(rows), round_id, owner[0]),
+                    )
+            self._commit()
+            return cursor.rowcount > 0
 
     # ------------------------------------------------------------------
     # campaign metadata
@@ -654,7 +984,7 @@ class MeasurementStore:
                 "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
                 (key, value),
             )
-            self._conn.commit()
+            self._commit()
 
     def get_meta(self, key: str, default: str | None = None) -> str | None:
         row = self._conn.execute(

@@ -4,6 +4,8 @@ from .campaign import (
     Campaign,
     CampaignInterrupted,
     CampaignResult,
+    SimTransportFactory,
+    build_sim_scenario,
     simulation_config,
 )
 from .scenario import (
@@ -18,6 +20,8 @@ __all__ = [
     "Campaign",
     "CampaignInterrupted",
     "CampaignResult",
+    "SimTransportFactory",
+    "build_sim_scenario",
     "simulation_config",
     "Scenario",
     "azure_scenario",

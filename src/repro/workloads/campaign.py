@@ -26,14 +26,54 @@ from ..analysis.dataset import Dataset
 from ..core.config import FetchConfig, PlatformConfig, ScanConfig
 from ..core.platform import RoundInterrupted, RoundSummary, WhoWas
 from ..core.store import MeasurementStore
-from .scenario import Scenario
+from .scenario import Scenario, azure_scenario, ec2_scenario
 
 __all__ = [
     "simulation_config",
+    "build_sim_scenario",
+    "SimTransportFactory",
     "CampaignResult",
     "CampaignInterrupted",
     "Campaign",
 ]
+
+
+def build_sim_scenario(params: dict) -> Scenario:
+    """Assemble the (possibly chaos-wrapped) scenario a parameter dict
+    describes — shared by ``repro simulate``, ``repro resume``, and
+    every spawned partition worker, so all of them see the
+    byte-identical cloud."""
+    builder = ec2_scenario if params["cloud"] == "ec2" else azure_scenario
+    kwargs = {"total_ips": params["ips"], "seed": params["seed"]}
+    if params.get("days") is not None:
+        kwargs["duration_days"] = params["days"]
+    scenario = builder(**kwargs)
+    chaos_rate = params.get("chaos_rate", 0.0)
+    if chaos_rate > 0:
+        from ..core import FaultyTransport, chaos_plan, hostile_plan
+
+        seed = params.get("chaos_seed", 0)
+        plan = chaos_plan(seed, rate=chaos_rate)
+        if params.get("chaos_hostile"):
+            plan = hostile_plan(seed, rate=chaos_rate)
+        scenario.transport = FaultyTransport(scenario.transport, plan)
+    return scenario
+
+
+@dataclass(frozen=True)
+class SimTransportFactory:
+    """Picklable ``factory(timestamp) -> Transport`` over the simulated
+    cloud: a spawned partition worker calls it to rebuild the scenario
+    from parameters alone and advance it to the round's day.  The
+    simulator is a pure function of ``(seed, day)``, so the worker's
+    transport answers byte-for-byte like the coordinator's."""
+
+    params: dict
+
+    def __call__(self, timestamp: int):
+        scenario = build_sim_scenario(dict(self.params))
+        scenario.simulation.advance_to(timestamp)
+        return scenario.transport
 
 
 class CampaignInterrupted(Exception):
@@ -100,11 +140,15 @@ class Campaign:
         scenario: Scenario,
         store: MeasurementStore | None = None,
         config: PlatformConfig | None = None,
+        *,
+        transport_factory=None,
+        proc_chaos=None,
     ):
         self.scenario = scenario
         self.store = store or MeasurementStore()
         self.platform = WhoWas(
-            scenario.transport, self.store, config or simulation_config()
+            scenario.transport, self.store, config or simulation_config(),
+            transport_factory=transport_factory, proc_chaos=proc_chaos,
         )
 
     # ------------------------------------------------------------------
