@@ -25,11 +25,13 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Quick serial-vs-overlapped round-pipeline throughput comparison, an
-# indexed-vs-exact clustering scaling spot check, and a 1-vs-2-worker
-# pool scaling spot check; regenerates BENCH_pipeline.json at the repo
-# root (the committed BENCH_clustering.json comes from the full
-# `--sizes 100000 1000000` run and BENCH_workers.json from the full
-# 100k-IP 1/2/4/8-worker run documented in each benchmark module).
+# indexed-vs-exact clustering scaling spot check, a 1-vs-2-worker
+# pool scaling spot check, and a telemetry-overhead spot check;
+# regenerates BENCH_pipeline.json at the repo root (the committed
+# BENCH_clustering.json comes from the full `--sizes 100000 1000000`
+# run, BENCH_workers.json from the full 100k-IP 1/2/4/8-worker run,
+# and BENCH_telemetry.json from the full 50k-IP x5 run documented in
+# each benchmark module).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_pipeline_throughput.py --ips 512 \
 		--latency 0.02 --out BENCH_pipeline.json
@@ -38,5 +40,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_workers_scale.py --ips 4096 \
 		--latency 0.02 --concurrency 24 --shard-size 256 \
 		--workers 1 2 --out /tmp/BENCH_workers_smoke.json
+	$(PYTHON) benchmarks/bench_telemetry_overhead.py --ips 8192 \
+		--repeats 2 --out /tmp/BENCH_telemetry_smoke.json
 
 all: test chaos

@@ -1,0 +1,120 @@
+"""CI watchdog for the live metrics endpoint.
+
+Scrapes a running ``repro simulate --metrics-port`` campaign until the
+endpoint goes away (the campaign finished), then asserts:
+
+* the endpoint was reachable and scraped at least ``--min-scrapes`` times,
+* every required core series appeared at least once,
+* every counter-like sample (``*_total``, ``*_sum``, ``*_count``,
+  ``*_bucket``) was monotonically non-decreasing across scrapes.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+
+Usage::
+
+    python -m repro simulate ... --metrics-port 9109 &
+    python scripts/ci_metrics_check.py --url http://127.0.0.1:9109/metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+try:
+    from repro.core.telemetry import parse_prometheus
+except ImportError:  # standalone execution without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.core.telemetry import parse_prometheus
+
+REQUIRED_SERIES = (
+    "repro_rounds_total",
+    "repro_records_written_total",
+    "repro_stage_items_total",
+    "repro_stage_shards_total",
+    "repro_store_commits_total",
+    "repro_worker_events_total",
+    "repro_workers_running",
+)
+
+MONOTONIC_SUFFIXES = ("_total", "_sum", "_count", "_bucket")
+
+
+def scrape(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return parse_prometheus(response.read().decode("utf-8"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", required=True)
+    parser.add_argument("--interval", type=float, default=0.5)
+    parser.add_argument("--startup-timeout", type=float, default=60.0,
+                        help="seconds to wait for the endpoint to appear")
+    parser.add_argument("--deadline", type=float, default=600.0,
+                        help="overall wall-clock budget")
+    parser.add_argument("--min-scrapes", type=int, default=3)
+    parser.add_argument("--require", nargs="*", default=None,
+                        help="override the required series list")
+    args = parser.parse_args(argv)
+    required = tuple(args.require) if args.require else REQUIRED_SERIES
+
+    started = time.monotonic()
+    scrapes = 0
+    seen_series: set[str] = set()
+    last: dict = {}
+    violations: list[str] = []
+
+    while time.monotonic() - started < args.deadline:
+        try:
+            samples = scrape(args.url)
+        except (urllib.error.URLError, OSError):
+            if scrapes:
+                break  # endpoint gone: the campaign finished
+            if time.monotonic() - started > args.startup_timeout:
+                print(f"FAIL: {args.url} never became reachable",
+                      file=sys.stderr)
+                return 1
+            time.sleep(args.interval)
+            continue
+        scrapes += 1
+        for (name, labels), value in samples.items():
+            seen_series.add(name)
+            if name.endswith(MONOTONIC_SUFFIXES):
+                previous = last.get((name, labels))
+                if previous is not None and value < previous:
+                    violations.append(
+                        f"{name}{dict(labels)} went {previous} -> {value} "
+                        f"(scrape {scrapes})"
+                    )
+                last[(name, labels)] = value
+        time.sleep(args.interval)
+
+    missing = [series for series in required if series not in seen_series]
+    print(f"scraped {args.url} {scrapes} time(s); "
+          f"{len(seen_series)} series seen")
+    if scrapes < args.min_scrapes:
+        print(f"FAIL: only {scrapes} scrapes (< {args.min_scrapes}); "
+              f"campaign too short for a meaningful check?",
+              file=sys.stderr)
+        return 1
+    if missing:
+        print(f"FAIL: required series never appeared: {missing}",
+              file=sys.stderr)
+        return 1
+    if violations:
+        print("FAIL: counter(s) went backwards:", file=sys.stderr)
+        for violation in violations[:20]:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"OK: all {len(required)} required series present, "
+          f"counters monotonic across {scrapes} scrapes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

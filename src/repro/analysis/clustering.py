@@ -23,8 +23,11 @@ rules as predicates.
 from __future__ import annotations
 
 import re
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..core import telemetry as _telemetry
 from ..core.config import ClusteringConfig
 from ..core.records import UNKNOWN, PageFeatures
 from ..core.simhash import (
@@ -38,6 +41,16 @@ from .gap_statistic import cluster_by_threshold, select_threshold
 from .lsh import DEFAULT_EXACT_CUTOFF
 
 __all__ = ["Cluster", "ClusterStats", "ClusteringResult", "WebpageClusterer"]
+
+
+@contextmanager
+def _timed(histogram, phase: str):
+    """Observe a block's wall-clock into a phase-labelled histogram."""
+    begun = time.perf_counter()
+    try:
+        yield
+    finally:
+        histogram.labels(phase=phase).observe(time.perf_counter() - begun)
 
 #: Titles indicating WhoWas failed to fetch useful content (§5).
 _ERROR_TITLE_RE = re.compile(
@@ -223,37 +236,49 @@ class WebpageClusterer:
     # ------------------------------------------------------------------
 
     def cluster(self, dataset: Dataset) -> ClusteringResult:
-        pages = [o for o in dataset.observations() if o.has_page]
-        level1: dict[tuple, list[Observation]] = {}
-        for obs in pages:
-            features = obs.features
-            assert features is not None
-            key = self._level1_key(features) if self.use_features \
-                else ("*",) * 5
-            level1.setdefault(key, []).append(obs)
+        tel = _telemetry.get()
+        phase_seconds = tel.histogram(
+            "repro_clustering_phase_seconds",
+            "Wall-clock per clustering phase",
+            labels=("phase",),
+        )
+        with tel.span("cluster:level1"), _timed(phase_seconds, "level1"):
+            pages = [o for o in dataset.observations() if o.has_page]
+            level1: dict[tuple, list[Observation]] = {}
+            for obs in pages:
+                features = obs.features
+                assert features is not None
+                key = self._level1_key(features) if self.use_features \
+                    else ("*",) * 5
+                level1.setdefault(key, []).append(obs)
 
         all_hashes = [o.features.simhash for o in pages]  # type: ignore[union-attr]
         threshold = self.level2_threshold
         if threshold is None:
-            threshold = select_threshold(all_hashes, seed=self.threshold_seed)
+            with tel.span("cluster:threshold"), \
+                    _timed(phase_seconds, "threshold"):
+                threshold = select_threshold(
+                    all_hashes, seed=self.threshold_seed
+                )
 
         # Second level: cluster distinct simhashes within each L1 group.
         assignment: dict[tuple[int, int], int] = {}
         cluster_key: dict[int, tuple] = {}
         next_id = 0
-        for key, group in level1.items():
-            distinct = sorted({o.features.simhash for o in group})  # type: ignore[union-attr]
-            hash_to_cluster: dict[int, int] = {}
-            for members in cluster_by_threshold(
-                distinct, threshold,
-                exact=self.exact, exact_cutoff=self.exact_cutoff,
-            ):
-                for value in members:
-                    hash_to_cluster[value] = next_id
-                cluster_key[next_id] = key
-                next_id += 1
-            for obs in group:
-                assignment[obs.key()] = hash_to_cluster[obs.features.simhash]  # type: ignore[union-attr]
+        with tel.span("cluster:level2"), _timed(phase_seconds, "level2"):
+            for key, group in level1.items():
+                distinct = sorted({o.features.simhash for o in group})  # type: ignore[union-attr]
+                hash_to_cluster: dict[int, int] = {}
+                for members in cluster_by_threshold(
+                    distinct, threshold,
+                    exact=self.exact, exact_cutoff=self.exact_cutoff,
+                ):
+                    for value in members:
+                        hash_to_cluster[value] = next_id
+                    cluster_key[next_id] = key
+                    next_id += 1
+                for obs in group:
+                    assignment[obs.key()] = hash_to_cluster[obs.features.simhash]  # type: ignore[union-attr]
         second_level_count = next_id
 
         # Merge heuristic over per-IP temporal neighbours.
@@ -271,21 +296,23 @@ class WebpageClusterer:
                 parent[root_a] = root_b
 
         if self.use_merge:
-            candidates: list[tuple[Observation, Observation]] = []
-            for history in dataset.by_ip.values():
-                previous: Observation | None = None
-                for obs in history:
-                    if not obs.has_page:
-                        continue
-                    if previous is not None:
-                        candidates.append((previous, obs))
-                    previous = obs
-            for (earlier, later), distance in zip(
-                candidates, self._merge_distances(candidates)
-            ):
-                if self._should_merge(earlier, later, assignment,
-                                      distance=distance):
-                    union(assignment[earlier.key()], assignment[later.key()])
+            with tel.span("cluster:merge"), _timed(phase_seconds, "merge"):
+                candidates: list[tuple[Observation, Observation]] = []
+                for history in dataset.by_ip.values():
+                    previous: Observation | None = None
+                    for obs in history:
+                        if not obs.has_page:
+                            continue
+                        if previous is not None:
+                            candidates.append((previous, obs))
+                        previous = obs
+                for (earlier, later), distance in zip(
+                    candidates, self._merge_distances(candidates)
+                ):
+                    if self._should_merge(earlier, later, assignment,
+                                          distance=distance):
+                        union(assignment[earlier.key()],
+                              assignment[later.key()])
 
         # Relabel to merged roots.
         merged_assignment = {
@@ -301,7 +328,8 @@ class WebpageClusterer:
                 clusters[cid] = cluster
             cluster.members.add(key)
 
-        removed = self._clean(clusters, dataset.round_count)
+        with tel.span("cluster:clean"), _timed(phase_seconds, "clean"):
+            removed = self._clean(clusters, dataset.round_count)
 
         stats = ClusterStats(
             responsive_ips=len(dataset.by_ip),

@@ -77,6 +77,20 @@ def _chaos_rate(value: str) -> float:
     return rate
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Observability knobs shared by ``simulate`` and ``resume``."""
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text metrics on 127.0.0.1:PORT for the "
+             "duration of the run (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="append per-stage trace spans to PATH as JSONL "
+             "(inspect with `repro trace PATH`)",
+    )
+
+
 def _add_clustering_args(parser: argparse.ArgumentParser) -> None:
     """Clustering-at-scale knobs shared by ``report`` and ``aggregate``."""
     group = parser.add_mutually_exclusive_group()
@@ -143,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "supervised worker processes (0/1: "
                                "in-process; output is byte-identical "
                                "either way)")
+    _add_telemetry_args(simulate)
 
     resume = commands.add_parser(
         "resume", help="continue an interrupted simulate campaign"
@@ -151,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--workers", type=int, default=None,
                         help="override the worker-process count recorded "
                              "by simulate (default: reuse it)")
+    _add_telemetry_args(resume)
 
     scan = commands.add_parser(
         "scan", help="scan real targets over the network (polite defaults)"
@@ -187,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
         "rounds", help="list a database's rounds with wall-clock durations"
     )
     rounds.add_argument("db")
+    rounds.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of a table")
 
     stats = commands.add_parser(
         "stats",
@@ -195,6 +213,42 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("db")
     stats.add_argument("--round", type=int, default=None,
                        help="show one round in detail (default: all)")
+    stats.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of a table")
+
+    watch = commands.add_parser(
+        "watch",
+        help="live terminal dashboard over a running campaign's "
+             "--metrics-port endpoint",
+    )
+    watch.add_argument("endpoint",
+                       help="metrics URL, host:port, or bare port of a "
+                            "running `simulate --metrics-port` process")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between polls (default %(default)s)")
+    watch.add_argument("--frames", type=int, default=0,
+                       help="stop after N frames (0: run until interrupted "
+                            "or the endpoint goes away)")
+    watch.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of redrawing the screen "
+                            "(for logs and tests)")
+
+    trace = commands.add_parser(
+        "trace",
+        help="inspect the span trace written by --trace-out",
+    )
+    trace.add_argument("source",
+                       help="trace JSONL file, or a round database whose "
+                            "trace sits next to it as <db>.trace.jsonl")
+    trace.add_argument("--stage", default=None,
+                       help="only spans of this stage (scan/fetch/extract/"
+                            "write/cluster:*)")
+    trace.add_argument("--round", type=int, default=None,
+                       help="only spans of this round id")
+    trace.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="show only the last N matching spans")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the matching spans as a JSON array")
 
     quarantine = commands.add_parser(
         "quarantine",
@@ -235,8 +289,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "quarantine": _cmd_quarantine,
         "verify": _cmd_verify,
+        "watch": _cmd_watch,
+        "trace": _cmd_trace,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 def _build_sim_scenario(params: dict):
@@ -253,7 +317,33 @@ def _build_sim_scenario(params: dict):
     return scenario
 
 
-def _sim_campaign(scenario, store, params: dict) -> Campaign:
+def _setup_telemetry(args):
+    """Activate process-wide telemetry for ``simulate``/``resume`` and
+    start the metrics endpoint if asked.  Must run before the store and
+    platform are constructed: instrumented objects cache their metric
+    handles at construction time.  Returns the TelemetryConfig to embed
+    in the platform config (spawned workers rebuild from it), or None
+    when observability was not requested."""
+    from .core import telemetry as _telemetry
+    from .core.config import TelemetryConfig
+
+    metrics_port = getattr(args, "metrics_port", None)
+    trace_out = getattr(args, "trace_out", None)
+    if metrics_port is None and trace_out is None:
+        return None
+    tel_config = TelemetryConfig(enabled=True, trace_path=trace_out)
+    tel = _telemetry.configure(tel_config)
+    if metrics_port is not None:
+        server = _telemetry.start_metrics_server(tel, metrics_port)
+        host, port = server.server_address[:2]
+        print(f"metrics: http://{host}:{port}/metrics "
+              f"(watch with `repro watch {port}`)")
+    if trace_out is not None:
+        print(f"trace: appending spans to {trace_out}")
+    return tel_config
+
+
+def _sim_campaign(scenario, store, params: dict, telemetry=None) -> Campaign:
     """Build the Campaign for ``simulate``/``resume``, wiring in the
     supervised worker pool when the parameters ask for one."""
     import dataclasses
@@ -262,6 +352,8 @@ def _sim_campaign(scenario, store, params: dict) -> Campaign:
 
     workers = int(params.get("workers") or 0)
     config = simulation_config()
+    if telemetry is not None:
+        config = dataclasses.replace(config, telemetry=telemetry)
     if workers > 1:
         config = dataclasses.replace(
             config, workers=WorkerConfig(count=workers)
@@ -292,13 +384,14 @@ def _cmd_simulate(args) -> int:
     pool = f", {args.workers} worker processes" if args.workers > 1 else ""
     print(f"simulating {scenario.name}: {len(scenario.targets)} IPs, "
           f"{len(scenario.scan_days)} rounds{pool}")
+    telemetry = _setup_telemetry(args)
     store = MeasurementStore(args.out)
     store.set_meta("simulate_args", json.dumps(params))
     abort_event = _install_abort_handler()
     try:
-        result = _sim_campaign(scenario, store, params).run(
-            progress=True, abort_event=abort_event
-        )
+        result = _sim_campaign(
+            scenario, store, params, telemetry=telemetry
+        ).run(progress=True, abort_event=abort_event)
     except CampaignInterrupted as exc:
         print(f"campaign checkpointed — resumable at day {exc.day}")
         print(f"run `repro resume {args.out}` to continue")
@@ -307,6 +400,7 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_resume(args) -> int:
+    telemetry = _setup_telemetry(args)
     store = MeasurementStore(args.db)
     raw = store.get_meta("simulate_args")
     if raw is None:
@@ -317,7 +411,7 @@ def _cmd_resume(args) -> int:
     if args.workers is not None:
         params["workers"] = args.workers
     scenario = _build_sim_scenario(params)
-    campaign = _sim_campaign(scenario, store, params)
+    campaign = _sim_campaign(scenario, store, params, telemetry=telemetry)
     done = len(json.loads(store.get_meta("completed_days") or "[]"))
     total = len(json.loads(store.get_meta("scan_days") or "[]"))
     partial = store.open_rounds()
@@ -449,8 +543,19 @@ def _cmd_aggregate(args) -> int:
 
 
 def _cmd_rounds(args) -> int:
+    import dataclasses
+
     store = MeasurementStore(args.db)
     rounds = store.rounds()
+    if args.json:
+        payload = {
+            "rounds": [dataclasses.asdict(info) for info in rounds],
+            "in_progress": [
+                dataclasses.asdict(info) for info in store.open_rounds()
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not rounds:
         print("database holds no finalized rounds", file=sys.stderr)
         return 1
@@ -489,6 +594,19 @@ def _cmd_stats(args) -> int:
     if not rounds:
         print("database holds no finalized rounds", file=sys.stderr)
         return 1
+    if args.json:
+        payload = []
+        for info in rounds:
+            stats = _load_pipeline_stats(store, info.round_id)
+            if stats is None:
+                continue
+            payload.append({
+                "round_id": info.round_id,
+                "day": info.timestamp,
+                "stats": stats.to_dict(),
+            })
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     shown = 0
     for info in rounds:
         stats = _load_pipeline_stats(store, info.round_id)
@@ -523,6 +641,18 @@ def _cmd_stats(args) -> int:
                   f"failed={stats.partitions_failed} "
                   f"merged={stats.partitions_merged} "
                   f"max_heartbeat_age={stats.max_heartbeat_age:.2f}s")
+        for part_id in sorted(stats.partitions, key=int):
+            part_stages = stats.partitions[part_id]
+            detail = "  ".join(
+                f"{name}={part_stages[name].items}"
+                for name in sorted(
+                    part_stages,
+                    key=lambda n: (order.get(n, len(order)), n),
+                )
+            )
+            busy = sum(s.busy_seconds for s in part_stages.values())
+            print(f"    partition {part_id:<3} {detail}  "
+                  f"busy={busy:6.2f}s")
     if shown == 0:
         print("no pipeline telemetry recorded (database predates the "
               "streaming pipeline)", file=sys.stderr)
@@ -602,6 +732,61 @@ def _cmd_verify(args) -> int:
               file=sys.stderr)
         return 1
     print(f"all {len(infos)} round(s) verified")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from . import dashboard
+
+    url = dashboard.normalize_endpoint(args.endpoint)
+    return dashboard.watch(
+        url, interval=args.interval, frames=args.frames,
+        clear=not args.no_clear,
+    )
+
+
+def _resolve_trace_path(source: str) -> str:
+    """A ``.jsonl`` argument is the trace itself; anything else is a
+    round database whose trace sits next to it as ``<db>.trace.jsonl``
+    (the path `simulate --trace-out` documentation recommends)."""
+    if source.endswith(".jsonl"):
+        return source
+    return f"{source}.trace.jsonl"
+
+
+def _cmd_trace(args) -> int:
+    import os
+
+    from .core.telemetry import read_trace
+
+    path = _resolve_trace_path(args.source)
+    if not os.path.exists(path):
+        print(f"no trace at {path} — run simulate with "
+              f"`--trace-out {path}` to record one", file=sys.stderr)
+        return 1
+    spans = [
+        span for span in read_trace(path)
+        if (args.stage is None or span.stage == args.stage)
+        and (args.round is None or span.round_id == args.round)
+    ]
+    if args.limit is not None:
+        spans = spans[-args.limit:]
+    if args.json:
+        print(json.dumps([span.to_dict() for span in spans], indent=2))
+        return 0
+    if not spans:
+        print("no matching spans", file=sys.stderr)
+        return 1
+    print(f"{'stage':<16}{'round':>6}{'shard':>6}{'worker':>7}"
+          f"{'outcome':>8}{'ms':>10}  error")
+    for span in spans:
+        print(f"{span.stage:<16}"
+              f"{span.round_id if span.round_id is not None else '-':>6}"
+              f"{span.shard if span.shard is not None else '-':>6}"
+              f"{span.worker if span.worker is not None else '-':>7}"
+              f"{span.outcome:>8}{span.duration * 1000:>10.2f}  "
+              f"{span.error_kind or ''}")
+    print(f"{len(spans)} span(s)")
     return 0
 
 

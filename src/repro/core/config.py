@@ -18,6 +18,7 @@ __all__ = [
     "PipelineConfig",
     "ClusteringConfig",
     "WorkerConfig",
+    "TelemetryConfig",
     "PlatformConfig",
 ]
 
@@ -340,6 +341,32 @@ class WorkerConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability switches (:mod:`repro.core.telemetry`).
+
+    Disabled by default: instrumented code then holds shared no-op
+    metric handles and spans cost one no-op call per event.  The config
+    lives on :class:`PlatformConfig` (and is therefore pickled into
+    spawned partition workers) so one flag lights up metrics and trace
+    spans across every process of a campaign.  Telemetry only observes
+    — enabling it must never change store output.
+    """
+
+    #: Master switch for the metrics registry and trace spans.
+    enabled: bool = False
+    #: Append-only JSONL file receiving every completed span; ``None``
+    #: keeps spans only in the in-memory ring.  Workers append to the
+    #: same path (single-write lines interleave safely).
+    trace_path: str | None = None
+    #: Bounded in-memory span ring (most recent N spans).
+    ring_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.ring_size <= 0:
+            raise ValueError("ring_size must be positive")
+
+
+@dataclass(frozen=True)
 class PlatformConfig:
     """Top-level WhoWas configuration."""
 
@@ -349,6 +376,7 @@ class PlatformConfig:
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     workers: WorkerConfig = field(default_factory=WorkerConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     #: IPs that must never be probed (tenant opt-outs; §4, §7).
     blacklist: frozenset[int] = frozenset()
     #: Also read the SSH banner from IPs with port 22 open (one extra

@@ -46,6 +46,7 @@ from .config import GuardConfig
 from .features import FeatureExtractor
 from .records import FetchResult, PageFeatures, QuarantineRecord
 from .transport import TransportError
+from . import telemetry as _telemetry
 
 __all__ = [
     "GuardVerdict",
@@ -148,6 +149,19 @@ class AimdController:
         self.increases = 0
         self.min_observed = limit
         self.peak_in_flight = 0
+        tel = _telemetry.get()
+        self._m_limit = tel.gauge(
+            "repro_aimd_limit", "Current AIMD fetch-concurrency limit"
+        )
+        self._m_in_flight = tel.gauge(
+            "repro_aimd_in_flight", "Fetch units of work currently admitted"
+        )
+        self._m_changes = tel.counter(
+            "repro_aimd_changes_total",
+            "AIMD limit adjustments by direction",
+            labels=("direction",),
+        )
+        self._m_limit.set(limit)
 
     def _condition(self) -> asyncio.Condition:
         loop = asyncio.get_running_loop()
@@ -164,12 +178,14 @@ class AimdController:
             await cond.wait_for(lambda: self._active < self.limit)
             self._active += 1
             self.peak_in_flight = max(self.peak_in_flight, self._active)
+            self._m_in_flight.set(self._active)
 
     async def release(self, ok: bool) -> None:
         """Return a slot and feed the outcome to the AIMD window."""
         cond = self._condition()
         async with cond:
             self._active = max(0, self._active - 1)
+            self._m_in_flight.set(self._active)
             self._record(ok)
             cond.notify_all()
 
@@ -193,9 +209,13 @@ class AimdController:
                 self.limit = halved
                 self.decreases += 1
                 self.min_observed = min(self.min_observed, halved)
+                self._m_limit.set(self.limit)
+                self._m_changes.labels(direction="decrease").inc()
         elif self.limit < self.max_limit:
             self.limit = min(self.max_limit, self.limit + self._step)
             self.increases += 1
+            self._m_limit.set(self.limit)
+            self._m_changes.labels(direction="increase").inc()
 
 
 class Supervisor:
@@ -234,6 +254,23 @@ class Supervisor:
         self.trapped: Counter[str] = Counter()
         #: Quarantine records produced (lifetime counter).
         self.quarantined_total = 0
+        tel = _telemetry.get()
+        self._m_verdicts = tel.counter(
+            "repro_guard_verdicts_total",
+            "Guard inspection verdicts by stage and verdict",
+            labels=("stage", "verdict"),
+        )
+        self._m_quarantine = tel.counter(
+            "repro_quarantine_total",
+            "Dead-letter quarantine records produced, by stage",
+            labels=("stage",),
+        )
+        self._m_guard_events = tel.counter(
+            "repro_guard_events_total",
+            "Runtime guard interventions (deadline kills, trapped "
+            "exceptions) by stage",
+            labels=("stage", "event"),
+        )
 
     # ------------------------------------------------------------------
     # round context
@@ -321,12 +358,16 @@ class Supervisor:
         except asyncio.TimeoutError:
             ok = False
             self.deadline_kills[stage] += 1
+            self._m_guard_events.labels(
+                stage=stage, event="deadline_kill"
+            ).inc()
             result = fallback(item, StageDeadlineExceeded(
                 f"{stage} stage exceeded its {deadline:g}s deadline"
             ))
         except Exception as exc:  # poison-proof by design
             ok = False
             self.trapped[stage] += 1
+            self._m_guard_events.labels(stage=stage, event="trapped").inc()
             result = fallback(item, exc)
         finally:
             await self.controller.release(ok)
@@ -392,6 +433,9 @@ class Supervisor:
         """
         body = fetch.body or ""
         verdict = self.inspect(fetch)
+        self._m_verdicts.labels(
+            stage=self.EXTRACT, verdict=verdict.value
+        ).inc()
         deadline = self.config.extract_deadline
         inline = deadline <= 0 or (
             verdict is GuardVerdict.OK
@@ -464,6 +508,7 @@ class Supervisor:
         )
         (self._quarantine if sink is None else sink).append(record)
         self.quarantined_total += 1
+        self._m_quarantine.labels(stage=stage).inc()
         return record
 
     def drain_quarantine(self) -> list[QuarantineRecord]:

@@ -39,6 +39,7 @@ from typing import Awaitable, Callable, Iterable, Sequence
 
 from .config import PipelineConfig
 from .records import PipelineStats
+from . import telemetry as _telemetry
 
 __all__ = ["ShardWork", "BoundedShardQueue", "RoundPipeline"]
 
@@ -79,7 +80,8 @@ class BoundedShardQueue:
     Tracks occupancy peaks and producer blocking for telemetry.
     """
 
-    def __init__(self, depth: int, *, limiter=None):
+    def __init__(self, depth: int, *, limiter=None,
+                 depth_gauge=None, wait_counter=None):
         self._depth = depth
         self._limiter = limiter
         self._items: deque = deque()
@@ -88,6 +90,10 @@ class BoundedShardQueue:
         self.peak = 0
         #: Number of ``put`` calls that had to wait for space.
         self.put_waits = 0
+        # Live telemetry children (None while telemetry is disabled, so
+        # the hot path pays one None-check per operation).
+        self._depth_gauge = depth_gauge
+        self._wait_counter = wait_counter
 
     def capacity(self) -> int:
         """Current effective capacity (AIMD-scaled when a limiter is
@@ -106,11 +112,15 @@ class BoundedShardQueue:
             # behind a full queue.
             if item is not _DONE and len(self._items) >= self.capacity():
                 self.put_waits += 1
+                if self._wait_counter is not None:
+                    self._wait_counter.inc()
                 while len(self._items) >= self.capacity():
                     await self._cond.wait()
             self._items.append(item)
             if item is not _DONE:
                 self.peak = max(self.peak, len(self._items))
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._items))
             self._cond.notify_all()
 
     async def get(self):
@@ -118,6 +128,8 @@ class BoundedShardQueue:
             while not self._items:
                 await self._cond.wait()
             item = self._items.popleft()
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._items))
             self._cond.notify_all()
             return item
 
@@ -129,6 +141,8 @@ class BoundedShardQueue:
             if not self._items:
                 return _EMPTY
             item = self._items.popleft()
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._items))
             self._cond.notify_all()
             return item
 
@@ -161,6 +175,8 @@ class RoundPipeline:
         write_batch: WriteFn,
         controller=None,
         abort_event: asyncio.Event | None = None,
+        round_id: int | None = None,
+        worker: int | None = None,
     ):
         self.config = config
         self._scan_fn = scan
@@ -172,14 +188,43 @@ class RoundPipeline:
         #: True when the feeder stopped early because of ``abort_event``.
         self.aborted = False
         self._error: BaseException | None = None
+        #: Span attribution (round id; partition index under --workers).
+        self.round_id = round_id
+        self.worker = worker
+        self._tel = _telemetry.get()
         # scan pulls from a depth-1 feed queue; the scan→fetch queue is
         # the AIMD coupling point (see BoundedShardQueue.capacity).
         self._feed_q = BoundedShardQueue(1)
         self._fetch_q = BoundedShardQueue(
-            config.scan_queue_depth, limiter=controller
+            config.scan_queue_depth, limiter=controller,
+            **self._queue_metrics("scan_fetch", "scan"),
         )
-        self._extract_q = BoundedShardQueue(config.extract_queue_depth)
-        self._write_q = BoundedShardQueue(config.write_queue_depth)
+        self._extract_q = BoundedShardQueue(
+            config.extract_queue_depth,
+            **self._queue_metrics("fetch_extract", "fetch"),
+        )
+        self._write_q = BoundedShardQueue(
+            config.write_queue_depth,
+            **self._queue_metrics("extract_write", "extract"),
+        )
+
+    def _queue_metrics(self, queue_name: str, producer: str) -> dict:
+        """Live depth gauge + backpressure counter for one inter-stage
+        queue (both None while telemetry is disabled)."""
+        if not self._tel.enabled:
+            return {"depth_gauge": None, "wait_counter": None}
+        return {
+            "depth_gauge": self._tel.gauge(
+                "repro_queue_depth",
+                "Shards buffered in each inter-stage queue",
+                labels=("queue",),
+            ).labels(queue=queue_name),
+            "wait_counter": self._tel.counter(
+                "repro_backpressure_waits_total",
+                "Producer stalls on a full output queue, by stage",
+                labels=("stage",),
+            ).labels(stage=producer),
+        }
 
     async def run(self, work_items: Iterable[ShardWork]) -> PipelineStats:
         """Run the round; returns the populated stats.  Raises the
@@ -244,8 +289,27 @@ class RoundPipeline:
         fn: StageFn,
     ) -> None:
         stats = self.stats.stage(name)
+        tel = self._tel
+        enabled = tel.enabled
+        m_shards = tel.counter(
+            "repro_stage_shards_total", "Shards processed per stage",
+            labels=("stage",),
+        ).labels(stage=name)
+        m_items = tel.counter(
+            "repro_stage_items_total",
+            "Stage work items (targets/fetches/records) per stage",
+            labels=("stage",),
+        ).labels(stage=name)
+        m_wait = tel.histogram(
+            "repro_stage_wait_seconds",
+            "Time a stage idled on its input queue per shard",
+            labels=("stage",),
+        ).labels(stage=name)
         while True:
+            waited = time.perf_counter() if enabled else 0.0
             item = await inq.get()
+            if enabled:
+                m_wait.observe(time.perf_counter() - waited)
             if item is _DONE:
                 await outq.put(_DONE)
                 return
@@ -256,7 +320,9 @@ class RoundPipeline:
             # because S stopped consuming.
             begun = time.perf_counter()
             try:
-                items = await fn(item)
+                with tel.span(name, round_id=self.round_id,
+                              shard=item.index, worker=self.worker):
+                    items = await fn(item)
             except asyncio.CancelledError:
                 raise
             except BaseException as exc:
@@ -268,10 +334,21 @@ class RoundPipeline:
             stats.busy_seconds += time.perf_counter() - begun
             stats.shards += 1
             stats.items += items
+            m_shards.inc()
+            m_items.inc(items)
             await outq.put(item)
 
     async def _writer(self, inq: BoundedShardQueue) -> None:
         stats = self.stats.stage("write")
+        tel = self._tel
+        m_shards = tel.counter(
+            "repro_stage_shards_total", "Shards processed per stage",
+            labels=("stage",),
+        ).labels(stage="write")
+        m_records = tel.counter(
+            "repro_records_written_total",
+            "Measurement records committed to the store",
+        )
         done = False
         while not done:
             item = await inq.get()
@@ -295,11 +372,15 @@ class RoundPipeline:
             if not batch:
                 continue
             begun = time.perf_counter()
-            shards, records = await self._write_batch(batch)
+            with tel.span("write", round_id=self.round_id,
+                          shard=batch[0].index, worker=self.worker):
+                shards, records = await self._write_batch(batch)
             elapsed = time.perf_counter() - begun
             stats.busy_seconds += elapsed
             stats.shards += shards
             stats.items += records
+            m_shards.inc(shards)
+            m_records.inc(records)
             self.stats.writer_flushes += 1
             self.stats.writer_flush_seconds += elapsed
             self.stats.writer_max_flush_seconds = max(

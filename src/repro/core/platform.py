@@ -47,6 +47,7 @@ from .records import (
 from .scanner import Scanner
 from .store import MeasurementStore, RoundInfo, ShardPayload
 from .transport import Transport, TransportError
+from . import telemetry as _telemetry
 
 __all__ = ["RoundSummary", "RoundInterrupted", "WhoWas"]
 
@@ -139,6 +140,10 @@ class WhoWas:
         proc_chaos=None,
     ):
         self.config = config or PlatformConfig()
+        # Activate telemetry before any instrumented component caches
+        # its metric handles (spawned partition workers light up here
+        # too, from the TelemetryConfig pickled inside their config).
+        _telemetry.activate_from(self.config.telemetry)
         self.transport = transport
         self.transport_factory = transport_factory
         self.proc_chaos = proc_chaos
@@ -154,6 +159,9 @@ class WhoWas:
         self.fetcher = Fetcher(transport, self.config.fetch, guard=self.guard)
         self.features = FeatureExtractor()
         self._next_round_id = self.store.max_round_id() + 1
+        #: Partition index when running as a spawned worker (span
+        #: attribution only); None in single-process engines.
+        self._worker_index: int | None = None
         # run_round's reusable event loop (created on first use); a
         # fresh loop per round would tear down and rebuild every
         # loop-bound primitive each round.
@@ -248,6 +256,7 @@ class WhoWas:
             round_id, degraded=degraded, error_count=errors,
             duration_seconds=time.perf_counter() - started,
         )
+        self._note_round_finalized(info)
         # Persist the run's pipeline telemetry so `repro stats` can
         # show it after the process is gone.
         self.store.set_meta(
@@ -303,6 +312,8 @@ class WhoWas:
             write_batch=write_batch,
             controller=self.guard.controller,
             abort_event=abort_event,
+            round_id=round_id,
+            worker=self._worker_index,
         )
         stats = await pipeline.run(work_items)
         return stats, pipeline.aborted
@@ -319,6 +330,7 @@ class WhoWas:
         can only differ in scheduling, never in measurement semantics.
         """
         stats = PipelineStats(mode="serial")
+        tel = _telemetry.get()
         begun_round = time.perf_counter()
         aborted = False
         for work in work_items:
@@ -332,7 +344,9 @@ class WhoWas:
             ):
                 stage = stats.stage(name)
                 begun = time.perf_counter()
-                items = await fn(work)
+                with tel.span(name, round_id=round_id, shard=work.index,
+                              worker=self._worker_index):
+                    items = await fn(work)
                 stage.busy_seconds += time.perf_counter() - begun
                 stage.shards += 1
                 stage.items += items
@@ -368,12 +382,14 @@ class WhoWas:
         *,
         round_id: int,
         timestamp: int,
+        worker: int | None = None,
     ) -> PipelineStats:
         """Run a subset of a round's shards into this platform's store
         — the partition-worker entry point (:mod:`repro.core.workers`).
         The caller owns the round lifecycle: ``begin_round`` must
         already have run against this platform's store, and nothing is
         finalized here."""
+        self._worker_index = worker
         round_hook = getattr(self.transport, "on_round_start", None)
         if callable(round_hook):
             round_hook(round_id)
@@ -468,6 +484,7 @@ class WhoWas:
             round_id, degraded=degraded, error_count=errors,
             duration_seconds=time.perf_counter() - started,
         )
+        self._note_round_finalized(info)
         self.store.set_meta(
             f"{PIPELINE_STATS_META_PREFIX}{round_id}",
             json.dumps(stats.to_dict(), sort_keys=True),
@@ -482,6 +499,17 @@ class WhoWas:
             quarantined=self.store.quarantine_count(round_id),
             pipeline=stats,
         )
+
+    @staticmethod
+    def _note_round_finalized(info: RoundInfo) -> None:
+        tel = _telemetry.get()
+        tel.counter(
+            "repro_rounds_total", "Rounds finalized, by status",
+            labels=("status",),
+        ).labels(status=info.status).inc()
+        tel.histogram(
+            "repro_round_seconds", "Wall-clock per finalized round",
+        ).observe(info.duration_seconds)
 
     # ------------------------------------------------------------------
     # shard stages (shared by both engines)

@@ -323,6 +323,13 @@ class PipelineStats:
     #: Oldest heartbeat age observed across all workers, seconds.
     max_heartbeat_age: float = 0.0
     stages: dict[str, StageStats] = field(default_factory=dict)
+    #: Multi-process rounds only: per-partition stage stats keyed by
+    #: partition index (as a string, for JSON round-tripping), so
+    #: ``repro stats`` can attribute the merged ``stages`` view back to
+    #: individual workers instead of showing an anonymous sum.
+    partitions: dict[str, dict[str, StageStats]] = field(
+        default_factory=dict
+    )
 
     @property
     def records_per_second(self) -> float:
@@ -355,6 +362,13 @@ class PipelineStats:
             "stages": {
                 name: stage.to_dict() for name, stage in self.stages.items()
             },
+            "partitions": {
+                index: {
+                    name: stage.to_dict()
+                    for name, stage in stages.items()
+                }
+                for index, stages in self.partitions.items()
+            },
         }
 
     @classmethod
@@ -363,6 +377,14 @@ class PipelineStats:
         payload["stages"] = {
             name: StageStats.from_dict(stage)
             for name, stage in payload.get("stages", {}).items()
+        }
+        # Stats persisted before per-partition attribution lack the key.
+        payload["partitions"] = {
+            str(index): {
+                name: StageStats.from_dict(stage)
+                for name, stage in stages.items()
+            }
+            for index, stages in payload.get("partitions", {}).items()
         }
         return cls(**payload)
 

@@ -59,6 +59,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .records import PageFeatures, QuarantineRecord, RoundRecord
+from . import telemetry as _telemetry
 
 __all__ = [
     "ROUND_IN_PROGRESS",
@@ -279,6 +280,19 @@ class MeasurementStore:
             "max_flush_seconds": 0.0,
             "max_batch_shards": 0,
         }
+        tel = _telemetry.get()
+        self._m_commits = tel.counter(
+            "repro_store_commits_total",
+            "Shard-write transactions committed by the store",
+        )
+        self._m_commit_seconds = tel.histogram(
+            "repro_store_commit_seconds",
+            "Wall-clock per shard-write transaction (incl. fsync)",
+        )
+        self._m_busy_retries = tel.counter(
+            "repro_store_busy_retries_total",
+            "Commits re-issued after SQLITE_BUSY/locked",
+        )
         self._conn.row_factory = sqlite3.Row
         # WAL keeps committed shards durable across a crash and lets a
         # reader (e.g. `repro report`) inspect a live campaign; sqlite
@@ -430,6 +444,7 @@ class MeasurementStore:
                     raise
                 if attempt == self._busy_retries:
                     raise
+                self._m_busy_retries.inc()
                 time.sleep(delay * (0.5 + self._busy_random.random()))
                 delay = min(delay * 2, self._busy_backoff_max)
 
@@ -640,6 +655,8 @@ class MeasurementStore:
         stats["max_flush_seconds"] = max(stats["max_flush_seconds"], seconds)
         stats["max_batch_shards"] = max(stats["max_batch_shards"],
                                         batch_shards)
+        self._m_commits.inc()
+        self._m_commit_seconds.observe(seconds)
 
     def writer_stats_snapshot(self) -> dict[str, float]:
         """Lifetime writer-flush telemetry (commit counts/latency) —

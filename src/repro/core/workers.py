@@ -58,6 +58,7 @@ from .faults import ProcessChaosPlan, ProcFaultKind
 from .pipeline import ShardWork
 from .records import PipelineStats
 from .store import MeasurementStore, shard_checksum
+from . import telemetry as _telemetry
 
 __all__ = [
     "PartitionSpec",
@@ -146,6 +147,9 @@ async def _run_partition_async(task: WorkerTask, emit) -> PipelineStats:
     partition journal, heartbeating from inside the event loop."""
     from .platform import WhoWas
 
+    # Light telemetry up before the store caches its metric handles
+    # (spawned workers start from a fresh interpreter).
+    _telemetry.activate_from(task.config.telemetry)
     transport = task.transport_factory(task.timestamp)
     store = MeasurementStore(task.journal_path)
     try:
@@ -202,6 +206,7 @@ async def _run_partition_async(task: WorkerTask, emit) -> PipelineStats:
                 stats = await platform.run_partition_async(
                     work_items(), round_id=task.round_id,
                     timestamp=task.timestamp,
+                    worker=task.partition.index,
                 )
             finally:
                 beat_task.cancel()
@@ -290,6 +295,37 @@ class WorkerSupervisor:
         self.transport_factory = transport_factory
         self.chaos = chaos
         self._ctx = multiprocessing.get_context(self.workers.start_method)
+        tel = _telemetry.get()
+        self._tel = tel
+        self._m_events = tel.counter(
+            "repro_worker_events_total",
+            "Worker supervisor lifecycle events "
+            "(spawn/heartbeat/kill/reassign/fallback/merge)",
+            labels=("event",),
+        )
+        self._m_running = tel.gauge(
+            "repro_workers_running", "Worker processes currently alive"
+        )
+        self._m_heartbeat_age = tel.gauge(
+            "repro_worker_heartbeat_age_seconds",
+            "Oldest heartbeat age across live workers",
+        )
+        # Same families the in-process pipeline feeds: worker processes
+        # count stage progress in their own registries, so the
+        # supervisor folds each merged partition's totals back in here
+        # to keep the coordinator's /metrics endpoint meaningful.
+        self._m_stage_shards = tel.counter(
+            "repro_stage_shards_total", "Shards completed per stage",
+            labels=("stage",),
+        )
+        self._m_stage_items = tel.counter(
+            "repro_stage_items_total", "Items processed per stage",
+            labels=("stage",),
+        )
+        self._m_records = tel.counter(
+            "repro_records_written_total",
+            "Round records written to the store",
+        )
 
     # ------------------------------------------------------------------
     # journal plumbing
@@ -388,6 +424,7 @@ class WorkerSupervisor:
             # no longer read — all equivalent to a lost partition.
             raise _JournalRejected(f"journal {path} unreadable: {exc}")
         report.stats.partitions_merged += 1
+        self._m_events.labels(event="merge").inc()
 
     def _salvage_journals(
         self, directory: Path, round_id: int, report: WorkerRoundReport
@@ -427,6 +464,7 @@ class WorkerSupervisor:
             target=partition_worker_main, args=(task, channel), daemon=True,
         )
         process.start()
+        self._m_events.labels(event="spawn").inc()
         now = time.monotonic()
         return _Running(
             process=process, spec=spec, attempt=attempt,
@@ -513,8 +551,10 @@ class WorkerSupervisor:
                 stats.partitions_failed += 1
                 report.forced_degraded = True
                 fallback.append(run.spec)
+                self._m_events.labels(event="fallback").inc()
             else:
                 stats.partition_reassignments += 1
+                self._m_events.labels(event="reassign").inc()
                 delay = self._backoff_delay(
                     workers, round_id, run.spec.index, run.attempt
                 )
@@ -542,7 +582,9 @@ class WorkerSupervisor:
                 else:
                     verified.append((run.spec, run.journal_path))
                     if run.done_stats:
-                        self._aggregate_stats(stats, run.done_stats)
+                        self._aggregate_stats(
+                            stats, run.done_stats, partition=run.spec.index
+                        )
             else:
                 fail_partition(run, run.failure or f"exit code {exitcode}")
 
@@ -565,7 +607,9 @@ class WorkerSupervisor:
                         self._journal_path(directory, round_id, spec.index),
                         channel,
                     )
+                self._m_running.set(len(running))
                 self._drain_channel(channel, running, stats, workers)
+                oldest_age = 0.0
                 for pindex, run in list(running.items()):
                     if run.process.exitcode is not None:
                         run.process.join()
@@ -576,6 +620,7 @@ class WorkerSupervisor:
                         reap(run)
                         continue
                     age = time.monotonic() - run.last_beat
+                    oldest_age = max(oldest_age, age)
                     stats.max_heartbeat_age = max(
                         stats.max_heartbeat_age, age
                     )
@@ -586,7 +631,9 @@ class WorkerSupervisor:
                         run.process.kill()
                         run.process.join()
                         del running[pindex]
+                        self._m_events.labels(event="kill").inc()
                         fail_partition(run, f"heartbeat {age:.1f}s stale")
+                self._m_heartbeat_age.set(oldest_age)
             if report.aborted:
                 for run in running.values():
                     run.process.terminate()
@@ -633,7 +680,9 @@ class WorkerSupervisor:
                 expected=spec.shard_indices,
             )
             verified.append((spec, journal_path))
-            self._aggregate_stats(stats, inline_stats.to_dict())
+            self._aggregate_stats(
+                stats, inline_stats.to_dict(), partition=spec.index
+            )
 
         for _, journal_path in verified:
             self._remove_journal(journal_path)
@@ -657,6 +706,7 @@ class WorkerSupervisor:
                 if kind == "heartbeat":
                     run.last_beat = time.monotonic()
                     run.shards_done = message[3]
+                    self._m_events.labels(event="heartbeat").inc()
                 elif kind == "done":
                     run.done_stats = message[3]
                 elif kind == "failed":
@@ -666,15 +716,28 @@ class WorkerSupervisor:
             except queue_module.Empty:
                 return
 
-    @staticmethod
-    def _aggregate_stats(stats: PipelineStats, worker_dict: dict) -> None:
+    def _aggregate_stats(
+        self, stats: PipelineStats, worker_dict: dict,
+        *, partition: int | None = None,
+    ) -> None:
         """Fold one worker's PipelineStats into the round's multiprocess
         stats: stage telemetry sums across workers (writer counters are
         deliberately excluded — the canonical store's merge commits are
-        attributed by the platform instead)."""
+        attributed by the platform instead).  With *partition* set, the
+        worker's full per-stage view (including its journal "write"
+        stage) is also kept under ``stats.partitions[str(partition)]``
+        so ``repro stats`` can attribute the merged sum back to
+        individual workers.  A reassigned partition's last successful
+        attempt wins — earlier attempts never reach this method.
+
+        The same totals feed the coordinator's live metric families:
+        worker processes count stage progress in their own registries,
+        so without this fold the parent's /metrics endpoint would show
+        an idle pipeline during a multiprocess campaign."""
         worker_stats = PipelineStats.from_dict(worker_dict)
         for name, stage in worker_stats.stages.items():
             if name == "write":
+                self._m_records.inc(stage.items)
                 continue
             total = stats.stage(name)
             total.shards += stage.shards
@@ -682,3 +745,7 @@ class WorkerSupervisor:
             total.busy_seconds += stage.busy_seconds
             total.queue_peak = max(total.queue_peak, stage.queue_peak)
             total.backpressure_waits += stage.backpressure_waits
+            self._m_stage_shards.labels(stage=name).inc(stage.shards)
+            self._m_stage_items.labels(stage=name).inc(stage.items)
+        if partition is not None:
+            stats.partitions[str(partition)] = worker_stats.stages

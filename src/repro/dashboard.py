@@ -1,0 +1,203 @@
+"""Live terminal dashboard over a running campaign's metrics endpoint.
+
+``repro watch`` polls the Prometheus text endpoint served by
+``simulate --metrics-port``, computes per-interval rates from counter
+deltas, and redraws a compact plain-ANSI summary of the pipeline:
+stage throughput, queue depths, AIMD state, guard verdicts, store
+commit activity and the worker pool.  Everything here works on the
+parsed sample dict from :func:`repro.core.telemetry.parse_prometheus`,
+so the renderer is equally testable against a canned exposition blob.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import IO
+
+from .core.telemetry import parse_prometheus
+
+__all__ = [
+    "Samples",
+    "fetch_samples",
+    "normalize_endpoint",
+    "render_dashboard",
+    "sample_total",
+    "samples_by_label",
+    "watch",
+]
+
+# (metric name, sorted label items) -> value, as parse_prometheus emits.
+Samples = dict[tuple[str, tuple[tuple[str, str], ...]], float]
+
+CLEAR = "\x1b[2J\x1b[H"
+
+# Stage -> the queue it feeds, for the throughput table.
+_DOWNSTREAM_QUEUE = {
+    "scan": "scan_fetch",
+    "fetch": "fetch_extract",
+    "extract": "extract_write",
+}
+_STAGE_ORDER = ("scan", "fetch", "extract", "write")
+
+
+def normalize_endpoint(endpoint: str) -> str:
+    """Accept a bare port, ``host:port`` or a full URL and return the
+    metrics URL to poll."""
+    if endpoint.isdigit():
+        return f"http://127.0.0.1:{endpoint}/metrics"
+    if "://" not in endpoint:
+        endpoint = f"http://{endpoint}"
+    scheme, _, rest = endpoint.partition("://")
+    if "/" not in rest:
+        endpoint = f"{scheme}://{rest}/metrics"
+    return endpoint
+
+
+def fetch_samples(url: str, timeout: float = 2.0) -> Samples:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return parse_prometheus(response.read().decode("utf-8"))
+
+
+def _matches(labels: tuple[tuple[str, str], ...], want: dict) -> bool:
+    have = dict(labels)
+    return all(have.get(key) == value for key, value in want.items())
+
+
+def sample_total(samples: Samples, name: str, **want: str) -> float:
+    """Sum every sample of *name* whose labels include *want*."""
+    return sum(
+        value for (sample_name, labels), value in samples.items()
+        if sample_name == name and _matches(labels, want)
+    )
+
+
+def samples_by_label(samples: Samples, name: str,
+                     key: str) -> dict[str, float]:
+    """Group the samples of *name* by one label, summing the rest out."""
+    grouped: dict[str, float] = {}
+    for (sample_name, labels), value in samples.items():
+        if sample_name != name:
+            continue
+        label = dict(labels).get(key, "")
+        grouped[label] = grouped.get(label, 0.0) + value
+    return grouped
+
+
+def _rate(current: Samples, previous: Samples | None, name: str,
+          elapsed: float, **want: str) -> float:
+    if previous is None or elapsed <= 0:
+        return 0.0
+    delta = (sample_total(current, name, **want)
+             - sample_total(previous, name, **want))
+    return max(0.0, delta) / elapsed
+
+
+def _counts(grouped: dict[str, float]) -> str:
+    if not grouped:
+        return "-"
+    return " ".join(
+        f"{label or '?'}={value:.0f}"
+        for label, value in sorted(grouped.items())
+    )
+
+
+def render_dashboard(current: Samples, previous: Samples | None,
+                     elapsed: float, source: str) -> str:
+    """One full frame of the dashboard as a newline-joined string."""
+    lines: list[str] = []
+    rounds = samples_by_label(current, "repro_rounds_total", "status")
+    records = sample_total(current, "repro_records_written_total")
+    record_rate = _rate(current, previous, "repro_records_written_total",
+                        elapsed)
+    lines.append(f"WhoWas telemetry — {source}")
+    lines.append(
+        f"rounds: {_counts(rounds)}   records: {records:.0f} "
+        f"({record_rate:,.0f} rec/s)"
+    )
+    lines.append("")
+    lines.append(f"{'stage':<9}{'items':>10}{'rate/s':>10}{'shards':>8}"
+                 f"{'waits':>7}{'queue':>7}")
+    items = samples_by_label(current, "repro_stage_items_total", "stage")
+    shards = samples_by_label(current, "repro_stage_shards_total", "stage")
+    waits = samples_by_label(current, "repro_backpressure_waits_total",
+                             "stage")
+    depths = samples_by_label(current, "repro_queue_depth", "queue")
+    for stage in _STAGE_ORDER:
+        if stage not in items and stage not in shards:
+            continue
+        rate = _rate(current, previous, "repro_stage_items_total",
+                     elapsed, stage=stage)
+        queue = _DOWNSTREAM_QUEUE.get(stage)
+        depth = f"{depths[queue]:.0f}" if queue in depths else "-"
+        lines.append(
+            f"{stage:<9}{items.get(stage, 0):>10.0f}{rate:>10,.0f}"
+            f"{shards.get(stage, 0):>8.0f}{waits.get(stage, 0):>7.0f}"
+            f"{depth:>7}"
+        )
+    lines.append("")
+    limit = sample_total(current, "repro_aimd_limit")
+    in_flight = sample_total(current, "repro_aimd_in_flight")
+    changes = samples_by_label(current, "repro_aimd_changes_total",
+                               "direction")
+    lines.append(f"aimd:    limit={limit:.0f} in_flight={in_flight:.0f} "
+                 f"changes: {_counts(changes)}")
+    verdicts = samples_by_label(current, "repro_guard_verdicts_total",
+                                "verdict")
+    quarantined = sample_total(current, "repro_quarantine_total")
+    lines.append(f"guard:   verdicts: {_counts(verdicts)}   "
+                 f"quarantined={quarantined:.0f}")
+    commits = sample_total(current, "repro_store_commits_total")
+    commit_rate = _rate(current, previous, "repro_store_commits_total",
+                        elapsed)
+    busy = sample_total(current, "repro_store_busy_retries_total")
+    lines.append(f"store:   commits={commits:.0f} "
+                 f"({commit_rate:,.1f}/s)  busy_retries={busy:.0f}")
+    running = sample_total(current, "repro_workers_running")
+    heartbeat = sample_total(current, "repro_worker_heartbeat_age_seconds")
+    events = samples_by_label(current, "repro_worker_events_total", "event")
+    if running or events:
+        lines.append(f"workers: running={running:.0f} "
+                     f"heartbeat_age={heartbeat:.2f}s "
+                     f"events: {_counts(events)}")
+    spans = samples_by_label(current, "repro_spans_total", "outcome")
+    if spans:
+        lines.append(f"spans:   {_counts(spans)}")
+    return "\n".join(lines) + "\n"
+
+
+def watch(url: str, interval: float = 2.0, frames: int = 0,
+          stream: IO[str] | None = None, clear: bool = True) -> int:
+    """Poll *url* and redraw the dashboard until interrupted, the
+    endpoint goes away (campaign finished), or *frames* frames have
+    been drawn.  Returns a process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    previous: Samples | None = None
+    previous_at = 0.0
+    drawn = 0
+    while True:
+        try:
+            current = fetch_samples(url)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            if previous is None:
+                print(f"cannot reach {url}: {exc}", file=sys.stderr)
+                return 1
+            stream.write("endpoint gone — campaign finished\n")
+            return 0
+        now = time.monotonic()
+        elapsed = now - previous_at if previous is not None else 0.0
+        frame = render_dashboard(current, previous, elapsed, url)
+        if clear:
+            stream.write(CLEAR)
+        stream.write(frame)
+        stream.flush()
+        previous, previous_at = current, now
+        drawn += 1
+        if frames and drawn >= frames:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover
+            return 0
