@@ -30,8 +30,9 @@ bench:
 # regenerates BENCH_pipeline.json at the repo root (the committed
 # BENCH_clustering.json comes from the full `--sizes 100000 1000000`
 # run, BENCH_workers.json from the full 100k-IP 1/2/4/8-worker run,
-# and BENCH_telemetry.json from the full 50k-IP x5 run documented in
-# each benchmark module).
+# BENCH_telemetry.json from the full 50k-IP x5 run, and
+# BENCH_serve.json from the full 0.5x/2x/10x offered-rate run
+# documented in each benchmark module).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_pipeline_throughput.py --ips 512 \
 		--latency 0.02 --out BENCH_pipeline.json
@@ -42,5 +43,8 @@ bench-smoke:
 		--workers 1 2 --out /tmp/BENCH_workers_smoke.json
 	$(PYTHON) benchmarks/bench_telemetry_overhead.py --ips 8192 \
 		--repeats 2 --out /tmp/BENCH_telemetry_smoke.json
+	$(PYTHON) benchmarks/bench_serve.py --ips 256 --days 4 \
+		--rate 50 --duration 1.5 --multiples 0.5 4.0 \
+		--out /tmp/BENCH_serve_smoke.json
 
 all: test chaos

@@ -273,6 +273,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verify one round only (default: all, "
                              "including in-progress ones)")
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve the query API over a round database with admission "
+             "control, deadlines, and load shedding",
+    )
+    serve.add_argument("db", help="round database to serve (opened "
+                                  "read-only; a concurrent simulate may "
+                                  "keep writing to it)")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (default 8321; 0 picks a free one)")
+    serve.add_argument("--rate", type=float, default=None, metavar="RPS",
+                       help="admission token-bucket refill rate "
+                            "(requests/second)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="admission token-bucket burst capacity")
+    serve.add_argument("--readers", type=int, default=None, metavar="N",
+                       help="read-only sqlite connections (= max "
+                            "concurrent store reads)")
+    serve.add_argument("--deadline-ms", type=int, default=None,
+                       metavar="MS",
+                       help="default per-request deadline budget")
+    serve.add_argument("--drain-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="how long a SIGTERM drain waits for in-flight "
+                            "requests before force-closing")
+    _add_telemetry_args(serve)
+
     return parser
 
 
@@ -291,6 +320,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "verify": _cmd_verify,
         "watch": _cmd_watch,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
     }[args.command]
     try:
         return handler(args)
@@ -542,10 +572,27 @@ def _cmd_aggregate(args) -> int:
     return 0
 
 
+def _open_readonly(path: str):
+    """Open a database read-only for the analysis commands, so they can
+    never take a write lock away from (or leave WAL litter behind for)
+    a campaign that is still writing.  Prints a friendly error and
+    returns None when the file is absent/unreadable."""
+    import sqlite3
+
+    try:
+        return MeasurementStore.open_readonly(path)
+    except sqlite3.OperationalError as exc:
+        print(f"{path}: cannot open database read-only ({exc})",
+              file=sys.stderr)
+        return None
+
+
 def _cmd_rounds(args) -> int:
     import dataclasses
 
-    store = MeasurementStore(args.db)
+    store = _open_readonly(args.db)
+    if store is None:
+        return 1
     rounds = store.rounds()
     if args.json:
         payload = {
@@ -584,7 +631,9 @@ def _load_pipeline_stats(store, round_id: int):
 
 
 def _cmd_stats(args) -> int:
-    store = MeasurementStore(args.db)
+    store = _open_readonly(args.db)
+    if store is None:
+        return 1
     rounds = store.rounds()
     if args.round is not None:
         rounds = [i for i in rounds if i.round_id == args.round]
@@ -711,7 +760,9 @@ def _cmd_quarantine(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    store = MeasurementStore(args.db)
+    store = _open_readonly(args.db)
+    if store is None:
+        return 1
     infos = store.rounds() + store.open_rounds()
     if args.round is not None:
         infos = [i for i in infos if i.round_id == args.round]
@@ -733,6 +784,79 @@ def _cmd_verify(args) -> int:
         return 1
     print(f"all {len(infos)} round(s) verified")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import dataclasses
+    import sqlite3
+
+    from .core.config import ServeConfig
+    from .serve import ServeApp
+
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.rate is not None:
+        overrides["rate_per_second"] = args.rate
+    if args.burst is not None:
+        overrides["burst"] = args.burst
+    if args.readers is not None:
+        overrides["readers"] = args.readers
+    if args.deadline_ms is not None:
+        overrides["default_deadline"] = args.deadline_ms / 1000.0
+        overrides["max_deadline"] = max(
+            ServeConfig().max_deadline, args.deadline_ms / 1000.0
+        )
+    if args.drain_deadline is not None:
+        overrides["drain_deadline"] = args.drain_deadline
+    try:
+        config = dataclasses.replace(ServeConfig(), **overrides)
+    except ValueError as exc:
+        print(f"bad serve configuration: {exc}", file=sys.stderr)
+        return 1
+
+    _setup_telemetry(args)
+
+    async def run() -> int:
+        app = ServeApp(args.db, config)
+        try:
+            await app.start()
+        except sqlite3.OperationalError as exc:
+            print(f"{args.db}: cannot open database read-only ({exc})",
+                  file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"cannot bind {config.host}:{config.port}: {exc}",
+                  file=sys.stderr)
+            return 1
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                hooked.append(sig)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass
+        # CI and the smoke tests parse this exact line for the port.
+        print(f"serving {args.db} on http://{config.host}:{app.port}",
+              flush=True)
+        try:
+            await stop.wait()
+        finally:
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
+        print("drain: refusing new requests, finishing "
+              f"{app.in_flight} in-flight", file=sys.stderr)
+        clean = await app.drain()
+        if not clean:
+            print("drain: deadline exceeded, force-closed stragglers",
+                  file=sys.stderr)
+        return 0
+
+    return asyncio.run(run())
 
 
 def _cmd_watch(args) -> int:

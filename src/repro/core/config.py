@@ -19,6 +19,7 @@ __all__ = [
     "ClusteringConfig",
     "WorkerConfig",
     "TelemetryConfig",
+    "ServeConfig",
     "PlatformConfig",
 ]
 
@@ -364,6 +365,87 @@ class TelemetryConfig:
     def __post_init__(self) -> None:
         if self.ring_size <= 0:
             raise ValueError("ring_size must be positive")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Query-serving parameters (:mod:`repro.serve`).
+
+    ``repro serve`` exposes the measurement database over HTTP behind a
+    full overload envelope: token-bucket admission with a bounded
+    accept queue (beyond it, explicit ``429`` + ``Retry-After``
+    shedding), a per-request deadline budget propagated into store
+    reads (``503`` at expiry instead of pile-up), a per-endpoint
+    circuit breaker that fails fast while the store is sick, and a
+    SIGTERM drain protocol.  Every knob here bounds some resource a
+    request flood would otherwise exhaust.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    #: Token-bucket admission: sustained requests per second...
+    rate_per_second: float = 500.0
+    #: ...with this much burst capacity (bucket size).
+    burst: float = 100.0
+    #: Requests that may *wait* for an admission token.  Beyond this
+    #: the request is shed immediately with ``429`` + ``Retry-After``.
+    accept_queue: int = 64
+    #: Read-only store connections in the pool == max concurrent store
+    #: reads.  Requests beyond it queue (bounded by their deadline).
+    readers: int = 4
+    #: Per-request deadline budget in seconds when the client sends no
+    #: ``deadline_ms`` query parameter...
+    default_deadline: float = 1.0
+    #: ...and the ceiling any client may request.
+    max_deadline: float = 10.0
+    #: Per-endpoint circuit breaker: consecutive store failures before
+    #: the breaker opens (0 disables it)...
+    breaker_threshold: int = 5
+    #: ...and seconds the breaker stays open before letting a single
+    #: half-open probe request through.
+    breaker_cooldown: float = 2.0
+    #: Seconds SIGTERM-initiated drain waits for in-flight requests
+    #: before force-closing their connections.
+    drain_deadline: float = 5.0
+    #: Seconds a client may take to deliver its request head (slow-loris
+    #: bound on the accept path).
+    header_timeout: float = 5.0
+    #: Ceiling on request-head bytes (line + headers).
+    max_request_bytes: int = 8192
+    #: Listen backlog for the accept socket.
+    backlog: int = 512
+    #: ``Retry-After`` jittered-backoff shape for shed responses: base
+    #: doubles per consecutive shed, capped (`repro.core.backoff`).
+    retry_after_base: float = 0.5
+    retry_after_max: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second <= 0:
+            raise ValueError("rate_per_second must be positive")
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+        if self.accept_queue < 0:
+            raise ValueError("accept_queue must be non-negative")
+        if self.readers <= 0:
+            raise ValueError("readers must be positive")
+        if not 0 < self.default_deadline <= self.max_deadline:
+            raise ValueError(
+                "need 0 < default_deadline <= max_deadline"
+            )
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
+        if self.drain_deadline < 0:
+            raise ValueError("drain_deadline must be non-negative")
+        if self.header_timeout <= 0:
+            raise ValueError("header_timeout must be positive")
+        if self.max_request_bytes < 256:
+            raise ValueError("max_request_bytes must be at least 256")
+        if self.backlog <= 0:
+            raise ValueError("backlog must be positive")
+        if self.retry_after_base <= 0 or self.retry_after_max <= 0:
+            raise ValueError("retry_after delays must be positive")
 
 
 @dataclass(frozen=True)

@@ -13,9 +13,9 @@ never executed.
 from __future__ import annotations
 
 import asyncio
-import random
 from typing import Sequence
 
+from .backoff import backoff_delay
 from .config import FetchConfig
 from .guard import GuardVerdict, StageDeadlineExceeded, Supervisor
 from .records import FetchResult, FetchStatus, ProbeOutcome
@@ -248,10 +248,14 @@ class Fetcher:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _backoff_delay(self, ip: int, attempt: int) -> float:
-        base = self.config.retry_base_delay * (2 ** attempt)
-        base = min(base, self.config.retry_max_delay)
-        jitter = random.Random(f"fetch-retry:{ip}:{attempt}").random()
-        return base * (0.5 + 0.5 * jitter)
+        return backoff_delay(
+            attempt,
+            base=self.config.retry_base_delay,
+            cap=self.config.retry_max_delay,
+            key=f"fetch-retry:{ip}:{attempt}",
+            jitter_min=0.5,
+            jitter_max=1.0,
+        )
 
     def _body_text(self, response: HttpResponse) -> str | None:
         if not self.config.should_download(response.content_type):

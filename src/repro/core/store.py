@@ -55,9 +55,11 @@ import random
 import sqlite3
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from .backoff import backoff_delay
 from .records import PageFeatures, QuarantineRecord, RoundRecord
 from . import telemetry as _telemetry
 
@@ -71,7 +73,18 @@ __all__ = [
     "RoundVerification",
     "MeasurementStore",
     "shard_checksum",
+    "is_interrupted",
 ]
+
+
+def is_interrupted(exc: BaseException) -> bool:
+    """True when *exc* is sqlite aborting a statement mid-flight — the
+    error a :meth:`MeasurementStore.read_deadline` expiry (or an
+    explicit ``Connection.interrupt()``) surfaces as."""
+    return (
+        isinstance(exc, sqlite3.OperationalError)
+        and "interrupt" in str(exc).lower()
+    )
 
 #: ``rounds.round_status`` values of the journaled protocol.
 ROUND_IN_PROGRESS = "in_progress"
@@ -254,11 +267,15 @@ class MeasurementStore:
         busy_retries: int = 5,
         busy_backoff_base: float = 0.05,
         busy_backoff_max: float = 1.0,
+        readonly: bool = False,
     ):
         #: The database file this store is backed by (":memory:" for
         #: ephemeral stores) — the coordinator derives partition-journal
         #: paths from it.
         self.path = path
+        #: True for stores opened through :meth:`open_readonly` — the
+        #: connection can never take a write lock on the database.
+        self.readonly = readonly
         # Contended writers (coordinator merge vs. a live reader, or
         # two processes sharing a file) surface as SQLITE_BUSY; the
         # busy_timeout handles intra-transaction waits and _commit()
@@ -270,7 +287,14 @@ class MeasurementStore:
         # The pipeline's writer stage may run batch commits in a worker
         # thread (PipelineConfig.writer_offload) so fsync never blocks
         # the event loop; the RLock serialises all connection access.
-        self._conn = sqlite3.connect(path, check_same_thread=False)
+        if readonly:
+            if path == ":memory:":
+                raise ValueError("cannot open an in-memory store read-only")
+            self._conn = sqlite3.connect(
+                f"file:{path}?mode=ro", uri=True, check_same_thread=False
+            )
+        else:
+            self._conn = sqlite3.connect(path, check_same_thread=False)
         self._lock = threading.RLock()
         #: Writer telemetry, fed into PipelineStats by the platform.
         self._writer_stats = {
@@ -294,12 +318,19 @@ class MeasurementStore:
             "Commits re-issued after SQLITE_BUSY/locked",
         )
         self._conn.row_factory = sqlite3.Row
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+        if readonly:
+            # Belt and braces on top of mode=ro: even an accidental
+            # write statement on this connection is refused by sqlite
+            # itself, and no DDL/migration runs — a reader must never
+            # mutate (or write-lock) a live campaign database.
+            self._conn.execute("PRAGMA query_only=ON")
+            return
         # WAL keeps committed shards durable across a crash and lets a
         # reader (e.g. `repro report`) inspect a live campaign; sqlite
         # silently keeps the "memory" journal for :memory: stores.
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS rounds ("
             "  round_id INTEGER PRIMARY KEY,"
@@ -418,6 +449,44 @@ class MeasurementStore:
                 "INTEGER NOT NULL DEFAULT 0"
             )
 
+    @classmethod
+    def open_readonly(cls, path: str, **kwargs) -> "MeasurementStore":
+        """Open an existing database strictly for reading.
+
+        The connection uses sqlite's ``mode=ro`` URI plus the
+        ``query_only`` pragma, so it can never take a write lock — a
+        query tool (``repro serve``/``stats``/``rounds``/``verify``)
+        pointed at a live campaign database cannot stall the writer or
+        mutate anything, even by accident.  No schema DDL or migration
+        runs.  Raises :class:`sqlite3.OperationalError` when *path*
+        does not exist (read-only mode never creates files)."""
+        return cls(path, readonly=True, **kwargs)
+
+    @contextmanager
+    def read_deadline(self, deadline: float | None, *, tick: int = 64):
+        """Bound every statement on this connection by a monotonic
+        *deadline* (``time.monotonic()`` seconds; ``None`` disables).
+
+        Implemented with sqlite's progress handler: once the deadline
+        passes, the running statement is aborted and sqlite raises
+        ``OperationalError('interrupted')`` — classify it with
+        :func:`is_interrupted`.  This is how the serving layer's
+        per-request deadline budget propagates *into* store reads, so a
+        pathological query fails at its budget instead of piling up
+        behind the connection."""
+        if deadline is None:
+            yield self
+            return
+
+        def _expired():
+            return 1 if time.monotonic() >= deadline else 0
+
+        self._conn.set_progress_handler(_expired, tick)
+        try:
+            yield self
+        finally:
+            self._conn.set_progress_handler(None, 0)
+
     def _table_has_column(self, table: str, column: str) -> bool:
         return any(
             row["name"] == column
@@ -433,7 +502,6 @@ class MeasurementStore:
         the database).  A failed commit leaves the transaction open, so
         re-issuing it is safe; anything but a busy/locked error — and
         the final exhausted attempt — propagates."""
-        delay = self._busy_backoff_base
         for attempt in range(self._busy_retries + 1):
             try:
                 self._conn.commit()
@@ -445,8 +513,12 @@ class MeasurementStore:
                 if attempt == self._busy_retries:
                     raise
                 self._m_busy_retries.inc()
-                time.sleep(delay * (0.5 + self._busy_random.random()))
-                delay = min(delay * 2, self._busy_backoff_max)
+                time.sleep(backoff_delay(
+                    attempt,
+                    base=self._busy_backoff_base,
+                    cap=self._busy_backoff_max,
+                    rng=self._busy_random,
+                ))
 
     # ------------------------------------------------------------------
     # journaled writes
@@ -1083,6 +1155,34 @@ class MeasurementStore:
             "available": int(row[1]),
             "fetched": int(row[2]),
         }
+
+    #: Feature columns :meth:`aggregate_column` may group by — a strict
+    #: allowlist since the column name is interpolated into SQL.
+    AGGREGATE_COLUMNS = frozenset(
+        {"template", "server", "powered_by", "content_type",
+         "status_code", "title"}
+    )
+
+    def aggregate_column(
+        self, round_id: int, column: str, *, limit: int = 20
+    ) -> list[tuple[str, int]]:
+        """Top values of one feature *column* in one round with their
+        row counts, descending — the cheap per-round cluster-aggregate
+        read behind ``repro serve`` (full §5 clustering is a batch job,
+        not a request-path one).  *column* must be in
+        :data:`AGGREGATE_COLUMNS`."""
+        if column not in self.AGGREGATE_COLUMNS:
+            raise ValueError(f"cannot aggregate by column {column!r}")
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        info = self.round_info(round_id)
+        cursor = self._conn.execute(
+            f"SELECT {column}, COUNT(*) AS n FROM {info.table_name} "
+            f"WHERE {column} IS NOT NULL "
+            f"GROUP BY {column} ORDER BY n DESC, {column} LIMIT ?",
+            (limit,),
+        )
+        return [(str(row[0]), int(row[1])) for row in cursor.fetchall()]
 
     def records(self, round_id: int) -> Iterator[RoundRecord]:
         """All records of one round."""

@@ -723,15 +723,32 @@ def reset() -> Telemetry:
 
 
 def start_metrics_server(
-    telemetry: Telemetry, port: int, host: str = "127.0.0.1"
+    telemetry: Telemetry, port: int, host: str = "127.0.0.1",
+    *, request_timeout: float = 5.0,
 ):
     """Serve ``/metrics`` (text exposition), ``/snapshot`` (JSON), and
     ``/healthz`` from a daemon thread.  Returns the ``HTTPServer`` —
     ``server.server_address[1]`` is the bound port (pass ``port=0`` for
-    an ephemeral one); call ``server.shutdown()`` to stop."""
+    an ephemeral one); call ``server.shutdown()`` to stop.
+
+    *request_timeout* bounds how long one connection may sit idle while
+    its request line/headers are being read.  ``ThreadingHTTPServer``
+    dedicates a thread per connection, so without it a slow-loris
+    client (connect, send nothing — or a partial request line — and
+    hold the socket) would pin handler threads forever; with it the
+    socket times out, the handler logs nothing and the thread exits."""
     from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+    if request_timeout <= 0:
+        raise ValueError("request_timeout must be positive")
+
     class Handler(BaseHTTPRequestHandler):
+        # socketserver applies this as the connection's socket timeout
+        # in setup(); handle_one_request() treats the resulting
+        # socket.timeout as a dead client and closes the connection,
+        # bounding header read time per recv.
+        timeout = request_timeout
+
         def do_GET(self):  # noqa: N802 - http.server API
             path = self.path.split("?", 1)[0]
             if path in ("/metrics", "/"):

@@ -43,7 +43,6 @@ import asyncio
 import multiprocessing
 import os
 import queue as queue_module
-import random
 import signal
 import sqlite3
 import sys
@@ -53,6 +52,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Sequence
 
+from .backoff import backoff_delay
 from .config import PlatformConfig
 from .faults import ProcessChaosPlan, ProcFaultKind
 from .pipeline import ShardWork
@@ -477,14 +477,12 @@ class WorkerSupervisor:
     ) -> float:
         """Capped exponential backoff with deterministic jitter (the
         jitter only shapes timing, never data)."""
-        base = min(
-            workers.retry_backoff_base * (2 ** attempt),
-            workers.retry_backoff_max,
+        return backoff_delay(
+            attempt,
+            base=workers.retry_backoff_base,
+            cap=workers.retry_backoff_max,
+            key=f"backoff:{round_id}:{partition}:{attempt}",
         )
-        jitter = random.Random(
-            f"backoff:{round_id}:{partition}:{attempt}"
-        ).random()
-        return base * (0.5 + jitter)
 
     def _apply_journal_chaos(
         self, path: str, round_id: int, partition: int, attempt: int

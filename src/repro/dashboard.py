@@ -165,6 +165,29 @@ def render_dashboard(current: Samples, previous: Samples | None,
     spans = samples_by_label(current, "repro_spans_total", "outcome")
     if spans:
         lines.append(f"spans:   {_counts(spans)}")
+    serve_codes = samples_by_label(current, "repro_serve_requests_total",
+                                   "code")
+    shed = samples_by_label(current, "repro_serve_shed_total", "reason")
+    if serve_codes or shed:
+        serve_rate = _rate(current, previous,
+                           "repro_serve_requests_total", elapsed)
+        serving = sample_total(current, "repro_serve_in_flight")
+        draining = sample_total(current, "repro_serve_draining")
+        state = " DRAINING" if draining else ""
+        lines.append(f"serve:   {_counts(serve_codes)} "
+                     f"({serve_rate:,.1f} req/s) in_flight={serving:.0f}"
+                     f"{state}")
+        if shed:
+            lines.append(f"  shed:  {_counts(shed)}")
+        breakers = samples_by_label(current, "repro_serve_breaker_state",
+                                    "endpoint")
+        tripped = {name: value for name, value in breakers.items() if value}
+        if tripped:
+            names = {0: "closed", 1: "half-open", 2: "open"}
+            lines.append("  breakers: " + " ".join(
+                f"{endpoint}={names.get(int(value), '?')}"
+                for endpoint, value in sorted(tripped.items())
+            ))
     return "\n".join(lines) + "\n"
 
 

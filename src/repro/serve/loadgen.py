@@ -1,0 +1,241 @@
+"""Seeded open-loop workload generator for the serving layer.
+
+Two deliberate modelling choices, both aimed at making overload tests
+honest:
+
+* **Traffic shape** follows the AsyncFlow-style requests-per-second
+  generator: per sampling window, the number of active users is drawn
+  from a Poisson around ``mean_users`` and each user emits requests at
+  ``rate_per_user`` with exponential inter-arrival gaps — so offered
+  load is bursty the way real traffic is, yet fully reproducible from
+  the seed.
+* **Open loop**: every request has an absolute scheduled start time
+  computed up front, and the driver fires at that schedule regardless
+  of how slowly earlier responses arrive.  A closed loop (wait for the
+  response, then send the next) would silently throttle itself to the
+  server's capacity — the coordinated-omission trap — and a 10×
+  overload test would never actually deliver 10×.
+
+Latency is measured schedule-to-last-byte, so queueing delay the server
+causes is charged to the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import time
+
+__all__ = ["LoadReport", "RqsWorkload", "run_workload", "percentile"]
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's Poisson sampler — fine for the small lambdas used here."""
+    if lam <= 0:
+        return 0
+    limit = math.exp(-lam)
+    k, product = 0, rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of *values*."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class RqsWorkload:
+    """Deterministic request schedule: (start_offset, path) pairs.
+
+    ``mean_users × rate_per_user`` is the average offered rate;
+    ``user_window`` is how often the active-user count is re-drawn.
+    ``paths`` maps request path → weight.
+    """
+
+    def __init__(
+        self,
+        *,
+        mean_users: float,
+        rate_per_user: float,
+        duration: float,
+        paths: dict[str, float],
+        seed: int = 0,
+        user_window: float = 1.0,
+    ):
+        if mean_users <= 0 or rate_per_user <= 0:
+            raise ValueError("users and per-user rate must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if user_window <= 0:
+            raise ValueError("user window must be positive")
+        if not paths:
+            raise ValueError("need at least one request path")
+        self.mean_users = mean_users
+        self.rate_per_user = rate_per_user
+        self.duration = duration
+        self.user_window = user_window
+        self.paths = dict(paths)
+        self.seed = seed
+
+    @property
+    def offered_rate(self) -> float:
+        """Average requests/second this schedule aims for."""
+        return self.mean_users * self.rate_per_user
+
+    def schedule(self) -> list[tuple[float, str]]:
+        """The full request schedule, sorted by start offset."""
+        rng = random.Random(self.seed)
+        path_names = sorted(self.paths)
+        weights = [self.paths[name] for name in path_names]
+        out: list[tuple[float, str]] = []
+        window_start = 0.0
+        while window_start < self.duration:
+            window_end = min(window_start + self.user_window, self.duration)
+            users = _poisson(rng, self.mean_users)
+            for _ in range(users):
+                # Each active user emits a Poisson process of requests
+                # across this window: exponential gaps at rate_per_user.
+                offset = window_start + rng.expovariate(
+                    max(self.rate_per_user, 1e-9)
+                )
+                while offset < window_end:
+                    path = rng.choices(path_names, weights=weights)[0]
+                    out.append((offset, path))
+                    offset += rng.expovariate(max(self.rate_per_user, 1e-9))
+            window_start = window_end
+        out.sort(key=lambda item: item[0])
+        return out
+
+
+class LoadReport:
+    """Outcome tally of one workload run."""
+
+    def __init__(self):
+        #: status code -> list of schedule-to-last-byte latencies.
+        self.latencies: dict[int, list[float]] = {}
+        self.malformed = 0          # unparseable / truncated responses
+        self.connect_errors = 0     # connection refused / reset
+        self.sent = 0
+
+    def observe(self, status: int, latency: float) -> None:
+        self.latencies.setdefault(status, []).append(latency)
+
+    @property
+    def statuses(self) -> dict[int, int]:
+        return {
+            status: len(values)
+            for status, values in sorted(self.latencies.items())
+        }
+
+    def count(self, status: int) -> int:
+        return len(self.latencies.get(status, []))
+
+    def percentile(self, q: float, status: int = 200) -> float:
+        return percentile(self.latencies.get(status, []), q)
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "statuses": {str(k): v for k, v in self.statuses.items()},
+            "malformed": self.malformed,
+            "connect_errors": self.connect_errors,
+            "latency_ms": {
+                str(status): {
+                    "p50": round(percentile(values, 50) * 1000, 3),
+                    "p95": round(percentile(values, 95) * 1000, 3),
+                    "p99": round(percentile(values, 99) * 1000, 3),
+                    "max": round(max(values) * 1000, 3),
+                }
+                for status, values in sorted(self.latencies.items())
+                if values
+            },
+        }
+
+
+async def _one_request(
+    host: str, port: int, path: str, report: LoadReport,
+    started_at: float, timeout: float,
+) -> None:
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+    except (OSError, asyncio.TimeoutError):
+        report.connect_errors += 1
+        return
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(1 << 20), timeout)
+        status = _parse_response(raw)
+        if status is None:
+            report.malformed += 1
+        else:
+            report.observe(status, time.monotonic() - started_at)
+    except (OSError, asyncio.TimeoutError, asyncio.LimitOverrunError):
+        report.malformed += 1
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+def _parse_response(raw: bytes) -> int | None:
+    """Status code of a *complete, well-framed* response, else None."""
+    if not raw.startswith(b"HTTP/1.1 "):
+        return None
+    head, separator, body = raw.partition(b"\r\n\r\n")
+    if not separator:
+        return None
+    try:
+        status = int(raw.split(b" ", 2)[1])
+    except (IndexError, ValueError):
+        return None
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                expected = int(value.strip())
+            except ValueError:
+                return None
+            return status if len(body) == expected else None
+    return None  # the server always sends Content-Length
+
+
+async def run_workload(
+    host: str, port: int, workload: RqsWorkload,
+    *, timeout: float = 10.0,
+) -> LoadReport:
+    """Drive *workload* against a server, open-loop, and tally results.
+
+    Requests launch at their pre-computed schedule offsets relative to
+    one epoch taken at call time — a slow server does not slow the
+    offered rate down."""
+    report = LoadReport()
+    schedule = workload.schedule()
+    report.sent = len(schedule)
+    epoch = time.monotonic()
+    tasks = []
+    for offset, path in schedule:
+        delay = epoch + offset - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        # Latency is charged from the *scheduled* start, so server-side
+        # queueing (and driver lag) counts against the server.
+        tasks.append(asyncio.ensure_future(
+            _one_request(host, port, path, report, epoch + offset, timeout)
+        ))
+    if tasks:
+        await asyncio.gather(*tasks)
+    return report

@@ -1,0 +1,230 @@
+"""Read paths behind the serving layer.
+
+Each query leases one read-only :class:`~repro.core.store.
+MeasurementStore` from the bounded pool, runs the actual read in a
+worker thread with the request's **deadline budget propagated into
+sqlite** (:meth:`MeasurementStore.read_deadline` aborts statements at
+expiry), and maps every store-side failure onto a typed exception the
+HTTP layer can translate into a well-formed status — a sick store must
+produce fast ``503``\\ s, never hangs or stack traces.
+
+The optional *fault* hook is the chaos-harness injection point: it runs
+inside the read thread before the real store read, so tests can make
+reads slow (sleep), sick (raise), or both, and assert the envelope —
+deadline expiry, breaker trips, pool exhaustion — instead of the
+failure leaking to clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+from ..cloudsim.addressing import int_to_ip, ip_to_int
+from ..core.store import MeasurementStore, is_interrupted
+from .resilience import PoolTimeout, ReadPool
+
+__all__ = [
+    "BadRequest",
+    "DeadlineExceeded",
+    "NotFound",
+    "StoreError",
+    "QueryService",
+]
+
+
+class BadRequest(Exception):
+    """Client-side nonsense (poison query): unparseable IP, bad id."""
+
+
+class NotFound(Exception):
+    """The resource does not exist (unknown round, never-seen IP is
+    *not* a NotFound — absence is data in WhoWas)."""
+
+
+class DeadlineExceeded(Exception):
+    """The request's deadline budget expired before the read finished."""
+
+
+class StoreError(Exception):
+    """The store misbehaved (fault, corruption, sick disk) — breaker
+    fodder."""
+
+
+def _parse_round_id(raw: str) -> int:
+    try:
+        round_id = int(raw)
+    except ValueError:
+        raise BadRequest(f"round id must be an integer, got {raw!r}") from None
+    if round_id < 0:
+        raise BadRequest("round id must be non-negative")
+    return round_id
+
+
+class QueryService:
+    """The serve layer's read API over a :class:`ReadPool`."""
+
+    def __init__(
+        self,
+        pool: ReadPool,
+        *,
+        fault: Callable[[str], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.pool = pool
+        self._fault = fault
+        self._clock = clock
+
+    # -- plumbing --------------------------------------------------------
+
+    async def _read(self, endpoint: str, deadline: float, fn):
+        """Lease a reader and run ``fn(store)`` under the deadline.
+
+        The wait for a lease, the chaos hook, and the sqlite read all
+        spend the same budget; ``asyncio.wait_for`` is the outer bound,
+        so even a read stuck in a non-interruptible fault returns a
+        :class:`DeadlineExceeded` to the client on time (the thread
+        keeps the lease until it actually finishes — a genuinely wedged
+        store therefore drains the pool and later requests shed on
+        :class:`PoolTimeout`, which is exactly the fail-fast signal the
+        circuit breaker feeds on)."""
+        remaining = deadline - self._clock()
+        if remaining <= 0:
+            raise DeadlineExceeded(endpoint)
+        try:
+            store = await self.pool.acquire(remaining)
+        except PoolTimeout as exc:
+            raise StoreError(f"{endpoint}: {exc}") from None
+
+        def work():
+            try:
+                if self._fault is not None:
+                    self._fault(endpoint)
+                with store.read_deadline(deadline):
+                    return fn(store)
+            finally:
+                self.pool.release(store)
+
+        remaining = deadline - self._clock()
+        if remaining <= 0:
+            # The lease wait consumed the budget; the (released) lease
+            # cost nothing.
+            raise DeadlineExceeded(endpoint)
+        try:
+            return await asyncio.wait_for(
+                asyncio.to_thread(work), remaining
+            )
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(endpoint) from None
+        except (BadRequest, NotFound, DeadlineExceeded):
+            raise
+        except Exception as exc:
+            if is_interrupted(exc):
+                raise DeadlineExceeded(endpoint) from None
+            raise StoreError(f"{endpoint}: {exc}") from exc
+
+    # -- endpoints -------------------------------------------------------
+
+    async def rounds(self, deadline: float) -> dict:
+        """Round summaries: every finalized round plus open ones."""
+
+        def fn(store: MeasurementStore):
+            return {
+                "rounds": [
+                    {
+                        "round_id": info.round_id,
+                        "day": info.timestamp,
+                        "targets_probed": info.targets_probed,
+                        "responsive": info.responsive_count,
+                        "errors": info.error_count,
+                        "status": info.status,
+                        "duration_seconds": info.duration_seconds,
+                    }
+                    for info in store.rounds()
+                ],
+                "in_progress": [
+                    info.round_id for info in store.open_rounds()
+                ],
+            }
+
+        return await self._read("rounds", deadline, fn)
+
+    async def round_detail(self, raw_id: str, deadline: float) -> dict:
+        round_id = _parse_round_id(raw_id)
+
+        def fn(store: MeasurementStore):
+            try:
+                info = store.round_info(round_id)
+            except KeyError:
+                raise NotFound(f"no round {round_id}") from None
+            stats = store.round_stats(round_id)
+            return {
+                "round_id": info.round_id,
+                "day": info.timestamp,
+                "targets_probed": info.targets_probed,
+                "status": info.status,
+                "degraded": info.degraded,
+                "errors": info.error_count,
+                "duration_seconds": info.duration_seconds,
+                "responsive": stats["responsive"],
+                "available": stats["available"],
+                "fetched": stats["fetched"],
+                "quarantined": store.quarantine_count(round_id),
+            }
+
+        return await self._read("round", deadline, fn)
+
+    async def ip_history(self, raw_ip: str, deadline: float) -> dict:
+        """The WhoWas query: one IP's status/content history."""
+        try:
+            ip = ip_to_int(raw_ip)
+        except (ValueError, OSError) as exc:
+            raise BadRequest(f"bad IP address {raw_ip!r}: {exc}") from None
+
+        def fn(store: MeasurementStore):
+            history = []
+            for record in store.history(ip):
+                features = record.features
+                history.append({
+                    "round_id": record.round_id,
+                    "day": record.timestamp,
+                    "open_ports": sorted(record.probe.open_ports),
+                    "fetch_status": record.fetch.status.value,
+                    "status_code": record.fetch.status_code,
+                    "server": features.server if features else None,
+                    "title": features.title if features else None,
+                    "template": features.template if features else None,
+                })
+            return {"ip": int_to_ip(ip), "observations": history}
+
+        return await self._read("ip", deadline, fn)
+
+    async def cluster_aggregate(
+        self, raw_id: str, deadline: float, *, column: str = "template",
+        limit: int = 20,
+    ) -> dict:
+        round_id = _parse_round_id(raw_id)
+        if column not in MeasurementStore.AGGREGATE_COLUMNS:
+            raise BadRequest(f"cannot aggregate by {column!r}; pick one "
+                             f"of {sorted(MeasurementStore.AGGREGATE_COLUMNS)}")
+        if not 0 < limit <= 500:
+            raise BadRequest("limit must be in 1..500")
+
+        def fn(store: MeasurementStore):
+            try:
+                groups = store.aggregate_column(
+                    round_id, column, limit=limit
+                )
+            except KeyError:
+                raise NotFound(f"no round {round_id}") from None
+            return {
+                "round_id": round_id,
+                "column": column,
+                "groups": [
+                    {"value": value, "count": count}
+                    for value, count in groups
+                ],
+            }
+
+        return await self._read("clusters", deadline, fn)

@@ -188,3 +188,134 @@ class TestRoundIsolation:
         info = store.round_info(1)
         assert info.degraded is False and info.error_count == 0
         store.close()
+
+
+class TestReadonlyStore:
+    """`open_readonly`: the query tools' connection can never write."""
+
+    def _seeded(self, tmp_path, rounds=1, per_round=8):
+        path = str(tmp_path / "ro.sqlite")
+        store = MeasurementStore(path)
+        for round_id in range(1, rounds + 1):
+            store.write_round(
+                round_id, round_id - 1, per_round,
+                [record(ip, round_id, round_id - 1)
+                 for ip in range(1, per_round + 1)],
+            )
+        store.close()
+        return path
+
+    def test_reads_work(self, tmp_path):
+        path = self._seeded(tmp_path, rounds=2)
+        reader = MeasurementStore.open_readonly(path)
+        assert reader.readonly is True
+        assert [i.round_id for i in reader.rounds()] == [1, 2]
+        assert len(list(reader.records(1))) == 8
+        assert len(reader.history(3)) == 2
+        reader.close()
+
+    def test_cannot_mutate(self, tmp_path):
+        import sqlite3
+
+        path = self._seeded(tmp_path)
+        reader = MeasurementStore.open_readonly(path)
+        with pytest.raises(sqlite3.OperationalError):
+            reader.set_meta("k", "v")
+        with pytest.raises(sqlite3.OperationalError):
+            reader.write_round(9, 9, 1, [record(1, 9, 9)])
+        reader.close()
+        # ... and nothing leaked through.
+        writer = MeasurementStore(path)
+        assert writer.get_meta("k") is None
+        assert len(writer.rounds()) == 1
+        writer.close()
+
+    def test_missing_database_never_created(self, tmp_path):
+        import os
+        import sqlite3
+
+        path = str(tmp_path / "absent.sqlite")
+        with pytest.raises(sqlite3.OperationalError):
+            MeasurementStore.open_readonly(path)
+        assert not os.path.exists(path)
+
+    def test_memory_store_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementStore.open_readonly(":memory:")
+
+    def test_reader_does_not_block_concurrent_writer(self, tmp_path):
+        """A reader holding an open cursor must not stop the campaign
+        writer from committing (WAL + mode=ro: no write locks)."""
+        path = self._seeded(tmp_path)
+        reader = MeasurementStore.open_readonly(path)
+        cursor = reader._conn.execute("SELECT * FROM rounds")
+        cursor.fetchone()  # cursor now holds a read snapshot open
+        writer = MeasurementStore(path, busy_timeout_ms=500)
+        writer.write_round(2, 1, 4, [record(1, 2, 1)])
+        assert [i.round_id for i in writer.rounds()] == [1, 2]
+        cursor.close()
+        writer.close()
+        reader.close()
+
+
+class TestReadDeadline:
+    """`read_deadline`: deadline budgets propagate into sqlite."""
+
+    def _big_store(self, tmp_path):
+        path = str(tmp_path / "big.sqlite")
+        store = MeasurementStore(path)
+        store.write_round(
+            1, 0, 3000, [record(ip, 1, 0) for ip in range(1, 2501)]
+        )
+        store.close()
+        return MeasurementStore.open_readonly(path)
+
+    def test_expired_deadline_interrupts_scan(self, tmp_path):
+        import time
+
+        from repro.core.store import is_interrupted
+
+        store = self._big_store(tmp_path)
+        with pytest.raises(Exception) as excinfo:
+            with store.read_deadline(time.monotonic() - 1.0, tick=4):
+                store._conn.execute(
+                    "SELECT COUNT(*) FROM round_00000 a, round_00000 b"
+                ).fetchone()
+        assert is_interrupted(excinfo.value)
+        store.close()
+
+    def test_generous_deadline_lets_reads_finish(self, tmp_path):
+        import time
+
+        store = self._big_store(tmp_path)
+        with store.read_deadline(time.monotonic() + 60.0):
+            assert len(list(store.records(1))) == 2500
+        store.close()
+
+    def test_handler_cleared_after_exit(self, tmp_path):
+        import time
+
+        store = self._big_store(tmp_path)
+        with pytest.raises(Exception):
+            with store.read_deadline(time.monotonic() - 1.0, tick=4):
+                store._conn.execute(
+                    "SELECT COUNT(*) FROM round_00000 a, round_00000 b"
+                ).fetchone()
+        # Once the context exits, reads run unbounded again.
+        assert len(list(store.records(1))) == 2500
+        store.close()
+
+    def test_none_deadline_is_noop(self):
+        store = MeasurementStore()
+        with store.read_deadline(None):
+            store.write_round(1, 0, 1, [record(1, 1, 0)])
+        assert len(store.rounds()) == 1
+
+    def test_interrupted_classifier(self):
+        import sqlite3
+
+        from repro.core.store import is_interrupted
+
+        assert is_interrupted(sqlite3.OperationalError("interrupted"))
+        assert not is_interrupted(sqlite3.OperationalError("locked"))
+        assert not is_interrupted(ValueError("interrupted"))

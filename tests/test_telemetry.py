@@ -536,3 +536,54 @@ class TestStoreOutputUnchanged:
         stages = {span.stage for span in spans}
         assert {"scan", "fetch", "extract"} <= stages
         assert all(span.outcome in ("ok", "error") for span in spans)
+
+
+class TestMetricsServerSlowLoris:
+    """The exposition endpoint must shrug off clients that connect and
+    stall: each connection's socket read is bounded by request_timeout,
+    so a slow-loris cannot pin handler threads."""
+
+    def test_stalled_client_is_dropped_and_server_stays_up(self):
+        import socket
+        import time as _time
+
+        tel = Telemetry(TelemetryConfig(enabled=True))
+        tel.counter("alive_total", "liveness").inc()
+        server = start_metrics_server(tel, 0, request_timeout=0.5)
+        port = server.server_address[1]
+        try:
+            # A slow-loris: connect, send a *partial* request line, and
+            # hold the socket open without ever finishing it.
+            loris = socket.create_connection(("127.0.0.1", port), timeout=5)
+            loris.sendall(b"GET /metr")  # never completes
+            deadline = _time.monotonic() + 5.0
+            dropped = False
+            while _time.monotonic() < deadline:
+                # The handler times the socket out and closes it; our
+                # next recv then observes EOF (empty bytes) or a reset.
+                loris.settimeout(0.25)
+                try:
+                    if loris.recv(1024) == b"":
+                        dropped = True
+                        break
+                except socket.timeout:
+                    continue
+                except OSError:
+                    dropped = True
+                    break
+            loris.close()
+            assert dropped, "stalled connection was never closed"
+            # And the server still answers well-formed requests.
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ) as response:
+                assert response.status == 200
+                assert "alive_total" in response.read().decode()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_request_timeout_must_be_positive(self):
+        tel = Telemetry(TelemetryConfig(enabled=True))
+        with pytest.raises(ValueError):
+            start_metrics_server(tel, 0, request_timeout=0)
