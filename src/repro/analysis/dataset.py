@@ -1,9 +1,10 @@
 """In-memory view of a WhoWas measurement campaign.
 
 Analyses repeatedly traverse every ``<IP, round>`` record, so this
-module loads a :class:`~repro.core.store.MeasurementStore` once into
-compact :class:`Observation` rows (dropping page bodies after link
-extraction) and indexes them by round and by IP.
+module loads a :class:`~repro.core.store.StoreBackend` (any engine —
+sqlite or columnar) once into compact :class:`Observation` rows
+(dropping page bodies after link extraction) and indexes them by round
+and by IP.
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ from typing import Iterator
 
 from ..core.features import extract_domains, extract_links
 from ..core.records import PageFeatures, RoundRecord
-from ..core.store import MeasurementStore, RoundInfo
+from ..core.store import RoundInfo, StoreBackend, open_store
 
 __all__ = ["Observation", "Dataset"]
 
@@ -88,7 +89,7 @@ class Dataset:
             history.sort(key=lambda o: o.timestamp)
 
     @classmethod
-    def from_store(cls, store: MeasurementStore) -> "Dataset":
+    def from_store(cls, store: StoreBackend) -> "Dataset":
         rounds = store.rounds()
         observations = [
             _observe(record)
@@ -96,6 +97,13 @@ class Dataset:
             for record in store.records(info.round_id)
         ]
         return cls(rounds, observations)
+
+    @classmethod
+    def from_path(cls, path: str, *, backend: str | None = None) -> "Dataset":
+        """Load a campaign straight from disk, auto-detecting the
+        storage engine (or forcing one via *backend*)."""
+        with open_store(path, backend=backend, readonly=True) as store:
+            return cls.from_store(store)
 
     # ------------------------------------------------------------------
 

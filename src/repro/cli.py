@@ -1,9 +1,12 @@
 """Command-line interface: simulate, resume, scan, report, lookup, aggregate.
 
 ``python -m repro simulate`` runs a full measurement campaign against a
-simulated cloud and writes the round database to a sqlite file; the
-other subcommands analyse such a database (or one produced by a real
-``scan``).  The platform's politeness defaults apply to real scans.
+simulated cloud and writes the round database through a pluggable
+storage engine (``--store-backend``: the default sqlite file, or the
+partitioned columnar directory layout); the other subcommands analyse
+such a database (or one produced by a real ``scan``), auto-detecting
+the engine from what is on disk.  The platform's politeness defaults
+apply to real scans.
 
 ``simulate`` and ``scan`` install SIGINT/SIGTERM handlers that
 checkpoint the in-flight shard and exit 0; ``repro resume <db>``
@@ -29,8 +32,9 @@ from .analysis import (
     build_aggregate_report,
 )
 from .cloudsim.addressing import ip_to_int
-from .core import MeasurementStore, RoundInterrupted, SocketTransport, WhoWas
-from .core.config import ClusteringConfig
+from .core import RoundInterrupted, SocketTransport, WhoWas
+from .core.config import ClusteringConfig, StoreConfig
+from .core.store import BACKENDS, default_backend, open_store
 from .workloads import (
     Campaign,
     CampaignInterrupted,
@@ -142,7 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--days", type=int, default=None,
                           help="campaign length (default: paper calendar)")
     simulate.add_argument("--out", required=True,
-                          help="sqlite file for the round database")
+                          help="round database path (sqlite file, or a "
+                               "directory with --store-backend columnar)")
+    simulate.add_argument("--store-backend", choices=sorted(BACKENDS),
+                          default=None,
+                          help="storage engine for the round database "
+                               "(default: $REPRO_STORE_BACKEND or sqlite)")
     simulate.add_argument("--chaos-rate", type=_chaos_rate, default=0.0,
                           help="inject seeded network faults into this "
                                "fraction of requests (0 disables)")
@@ -265,13 +274,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = commands.add_parser(
         "verify",
-        help="recompute per-shard checksums and exit nonzero on any "
-             "mismatch, gap, or orphan row",
+        help="recompute per-shard checksums and materialized-view "
+             "digests; exit nonzero on any mismatch, gap, orphan row, "
+             "or stale view",
     )
     verify.add_argument("db")
     verify.add_argument("--round", type=int, default=None,
                         help="verify one round only (default: all, "
                              "including in-progress ones)")
+
+    rebuild = commands.add_parser(
+        "rebuild-views",
+        help="drop and refold every materialized read model (per-IP "
+             "history, round summaries, cluster aggregates) from the "
+             "base shard data",
+    )
+    rebuild.add_argument("db")
 
     serve = commands.add_parser(
         "serve",
@@ -318,6 +336,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "quarantine": _cmd_quarantine,
         "verify": _cmd_verify,
+        "rebuild-views": _cmd_rebuild_views,
         "watch": _cmd_watch,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
@@ -382,6 +401,9 @@ def _sim_campaign(scenario, store, params: dict, telemetry=None) -> Campaign:
 
     workers = int(params.get("workers") or 0)
     config = simulation_config()
+    backend = params.get("store_backend")
+    if backend:
+        config = dataclasses.replace(config, store=StoreConfig(backend))
     if telemetry is not None:
         config = dataclasses.replace(config, telemetry=telemetry)
     if workers > 1:
@@ -404,18 +426,25 @@ def _finish_campaign(result, store, db_path: str) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    backend = args.store_backend or default_backend()
+    try:
+        StoreConfig(backend)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     params = {
         "cloud": args.cloud, "ips": args.ips, "seed": args.seed,
         "days": args.days, "chaos_rate": args.chaos_rate,
         "chaos_seed": args.chaos_seed, "chaos_hostile": args.chaos_hostile,
-        "workers": args.workers,
+        "workers": args.workers, "store_backend": backend,
     }
     scenario = _build_sim_scenario(params)
     pool = f", {args.workers} worker processes" if args.workers > 1 else ""
     print(f"simulating {scenario.name}: {len(scenario.targets)} IPs, "
-          f"{len(scenario.scan_days)} rounds{pool}")
+          f"{len(scenario.scan_days)} rounds{pool} "
+          f"[{backend} store]")
     telemetry = _setup_telemetry(args)
-    store = MeasurementStore(args.out)
+    store = open_store(args.out, backend=backend)
     store.set_meta("simulate_args", json.dumps(params))
     abort_event = _install_abort_handler()
     try:
@@ -431,7 +460,7 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_resume(args) -> int:
     telemetry = _setup_telemetry(args)
-    store = MeasurementStore(args.db)
+    store = open_store(args.db)
     raw = store.get_meta("simulate_args")
     if raw is None:
         print(f"{args.db}: no campaign metadata; not resumable",
@@ -464,7 +493,7 @@ def _cmd_scan(args) -> int:
     if not targets:
         print("no targets", file=sys.stderr)
         return 1
-    store = MeasurementStore(args.out)
+    store = open_store(args.out)
     platform = WhoWas(SocketTransport(), store)
     # A previous interrupted scan of the same timestamp resumes instead
     # of starting over.
@@ -493,7 +522,9 @@ def _cmd_scan(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    store = MeasurementStore(args.db)
+    store = _open_readonly(args.db)
+    if store is None:
+        return 1
     dataset = Dataset.from_store(store)
     if not dataset.rounds:
         print("database holds no rounds", file=sys.stderr)
@@ -546,7 +577,9 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_lookup(args) -> int:
-    store = MeasurementStore(args.db)
+    store = _open_readonly(args.db)
+    if store is None:
+        return 1
     history = store.history(ip_to_int(args.ip))
     if not history:
         print(f"{args.ip}: never responsive")
@@ -563,7 +596,9 @@ def _cmd_lookup(args) -> int:
 
 
 def _cmd_aggregate(args) -> int:
-    store = MeasurementStore(args.db)
+    store = _open_readonly(args.db)
+    if store is None:
+        return 1
     dataset = Dataset.from_store(store)
     clustering = _clusterer_from_args(args).cluster(dataset)
     report = build_aggregate_report(args.cloud, dataset, clustering)
@@ -575,13 +610,14 @@ def _cmd_aggregate(args) -> int:
 def _open_readonly(path: str):
     """Open a database read-only for the analysis commands, so they can
     never take a write lock away from (or leave WAL litter behind for)
-    a campaign that is still writing.  Prints a friendly error and
-    returns None when the file is absent/unreadable."""
+    a campaign that is still writing.  The engine is auto-detected from
+    what is on disk.  Prints a friendly error and returns None when the
+    path is absent/unreadable."""
     import sqlite3
 
     try:
-        return MeasurementStore.open_readonly(path)
-    except sqlite3.OperationalError as exc:
+        return open_store(path, readonly=True)
+    except (sqlite3.OperationalError, FileNotFoundError, ValueError) as exc:
         print(f"{path}: cannot open database read-only ({exc})",
               file=sys.stderr)
         return None
@@ -713,7 +749,7 @@ def _cmd_quarantine(args) -> int:
     from .core import FeatureExtractor
     from .cloudsim.addressing import int_to_ip
 
-    store = MeasurementStore(args.db)
+    store = open_store(args.db)
     entries = store.quarantine_rows(
         args.round, include_replayed=(args.all or args.action == "list")
     )
@@ -786,6 +822,19 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_rebuild_views(args) -> int:
+    import sqlite3
+
+    try:
+        store = open_store(args.db)
+    except (sqlite3.OperationalError, ValueError) as exc:
+        print(f"{args.db}: cannot open database ({exc})", file=sys.stderr)
+        return 1
+    refolded = store.rebuild_views()
+    print(f"rebuilt materialized views for {refolded} round(s)")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import dataclasses
     import sqlite3
@@ -823,7 +872,7 @@ def _cmd_serve(args) -> int:
         app = ServeApp(args.db, config)
         try:
             await app.start()
-        except sqlite3.OperationalError as exc:
+        except (sqlite3.OperationalError, FileNotFoundError) as exc:
             print(f"{args.db}: cannot open database read-only ({exc})",
                   file=sys.stderr)
             return 1

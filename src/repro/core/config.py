@@ -20,6 +20,7 @@ __all__ = [
     "WorkerConfig",
     "TelemetryConfig",
     "ServeConfig",
+    "StoreConfig",
     "PlatformConfig",
 ]
 
@@ -449,6 +450,29 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class StoreConfig:
+    """Measurement-store engine selection.
+
+    ``backend`` picks the engine new campaign databases are created
+    with: ``"sqlite"`` (the row-oriented reference engine — one file,
+    WAL, transactional folds) or ``"columnar"`` (the round-partitioned
+    analytical engine — a directory of column-major shard files).
+    Existing stores are always opened with the engine that wrote them
+    (:func:`repro.core.store.detect_backend`); this setting only
+    matters at creation time.
+    """
+
+    backend: str = "sqlite"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("sqlite", "columnar"):
+            raise ValueError(
+                f"unknown store backend {self.backend!r}; "
+                "expected 'sqlite' or 'columnar'"
+            )
+
+
+@dataclass(frozen=True)
 class PlatformConfig:
     """Top-level WhoWas configuration."""
 
@@ -459,6 +483,7 @@ class PlatformConfig:
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     workers: WorkerConfig = field(default_factory=WorkerConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    store: StoreConfig = field(default_factory=StoreConfig)
     #: IPs that must never be probed (tenant opt-outs; §4, §7).
     blacklist: frozenset[int] = frozenset()
     #: Also read the SSH banner from IPs with port 22 open (one extra

@@ -7,7 +7,8 @@ the programmatic lookup interface analyses are built on.
 
 Rounds are processed in **shards** of ``PlatformConfig.shard_size``
 targets, each committed to the store as it completes (the journaled
-protocol of :class:`~repro.core.store.MeasurementStore`).  A crash or a
+protocol of :class:`~repro.core.store.StoreBackend`, regardless of
+which engine — sqlite or columnar — backs it).  A crash or a
 cooperative abort (``abort_event``) therefore loses at most one shard
 of work; the round stays ``in_progress`` in the store and a later call
 with ``resume_round_id`` finishes exactly the shards that are missing.
@@ -45,7 +46,7 @@ from .records import (
     RoundRecord,
 )
 from .scanner import Scanner
-from .store import MeasurementStore, RoundInfo, ShardPayload
+from .store import MeasurementStore, RoundInfo, ShardPayload, StoreBackend
 from .transport import Transport, TransportError
 from . import telemetry as _telemetry
 
@@ -133,7 +134,7 @@ class WhoWas:
     def __init__(
         self,
         transport: Transport,
-        store: MeasurementStore | None = None,
+        store: StoreBackend | None = None,
         config: PlatformConfig | None = None,
         *,
         transport_factory=None,

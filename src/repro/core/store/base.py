@@ -1,0 +1,657 @@
+"""The storage-engine seam: shared protocol types and the abstract
+:class:`StoreBackend` every measurement store implements.
+
+The WhoWas write path (journaled rounds, idempotent shards, quarantine)
+and read path (round listings, per-IP history, feature aggregates) are
+defined here once; concrete engines — the row-oriented SQLite reference
+implementation (:mod:`.sqlite`) and the round-partitioned columnar
+analytical engine (:mod:`.columnar`) — implement the same contract, and
+the conformance suite (``tests/test_store_backends.py``) proves a
+campaign written through either backend is row-equivalent.
+
+Protocol invariants every backend must honour
+---------------------------------------------
+* :meth:`StoreBackend.begin_round` registers a round ``in_progress``;
+  re-opening an ``in_progress`` round is the resume path and keeps its
+  committed shards and journaled shard size.
+* :meth:`StoreBackend.write_shard` commits one shard (rows + quarantine
+  entries + journal entry) **atomically and idempotently**: a shard
+  index that already committed is skipped, so a crashed-and-resumed
+  process can blindly replay its shard sequence.
+* Every committed shard journals a :func:`shard_checksum` digest;
+  :meth:`StoreBackend.verify_round` recomputes them offline.
+* **Materialized read models** (per-IP history, round summary, cluster
+  aggregates) are folded in by the same commit that lands the shard —
+  the fold and the shard are one atomic unit, so the views can never
+  drift from the base data across a crash.  :meth:`rebuild_views` is
+  the offline escape hatch, and :meth:`verify_round` audits the views
+  with the same checksum discipline as the shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..records import PageFeatures, QuarantineRecord, RoundRecord
+from .. import telemetry as _telemetry
+
+__all__ = [
+    "ROUND_IN_PROGRESS",
+    "ROUND_COMPLETE",
+    "ROUND_DEGRADED",
+    "AGGREGATE_COLUMNS",
+    "VIEW_NAMES",
+    "RoundInfo",
+    "ShardPayload",
+    "ShardJournalEntry",
+    "RoundVerification",
+    "StoreBackend",
+    "shard_checksum",
+    "is_interrupted",
+]
+
+
+def is_interrupted(exc: BaseException) -> bool:
+    """True when *exc* is sqlite aborting a statement mid-flight — the
+    error a :meth:`StoreBackend.read_deadline` expiry (or an explicit
+    ``Connection.interrupt()``) surfaces as."""
+    return (
+        isinstance(exc, sqlite3.OperationalError)
+        and "interrupt" in str(exc).lower()
+    )
+
+
+#: ``rounds.round_status`` values of the journaled protocol.
+ROUND_IN_PROGRESS = "in_progress"
+ROUND_COMPLETE = "complete"
+ROUND_DEGRADED = "degraded"
+
+#: Feature columns :meth:`StoreBackend.aggregate_column` may group by —
+#: a strict allowlist since backends interpolate the name into queries.
+AGGREGATE_COLUMNS = frozenset(
+    {"template", "server", "powered_by", "content_type",
+     "status_code", "title"}
+)
+
+#: The materialized read models every backend maintains incrementally.
+VIEW_NAMES = ("ip_history", "round_summary", "cluster_agg")
+
+#: The flat persistence schema of :meth:`RoundRecord.to_row`, shared by
+#: every backend so checksums and row-equivalence are backend-agnostic.
+COLUMNS: tuple[tuple[str, str], ...] = (
+    ("ip", "INTEGER NOT NULL"),
+    ("round_id", "INTEGER NOT NULL"),
+    ("timestamp", "INTEGER NOT NULL"),
+    ("probe_status", "TEXT NOT NULL"),
+    ("open_ports", "TEXT NOT NULL"),
+    ("fetch_status", "TEXT NOT NULL"),
+    ("url", "TEXT"),
+    ("status_code", "INTEGER"),
+    ("content_type", "TEXT"),
+    ("headers", "TEXT"),
+    ("body", "TEXT"),
+    ("error", "TEXT"),
+    ("error_class", "TEXT"),
+    ("probe_error_class", "TEXT"),
+    ("powered_by", "TEXT"),
+    ("description", "TEXT"),
+    ("header_string", "TEXT"),
+    ("html_length", "INTEGER"),
+    ("title", "TEXT"),
+    ("template", "TEXT"),
+    ("server", "TEXT"),
+    ("keywords", "TEXT"),
+    ("analytics_id", "TEXT"),
+    ("simhash", "TEXT"),
+    ("ssh_banner", "TEXT"),
+)
+
+COLUMN_NAMES = tuple(name for name, _ in COLUMNS)
+
+#: The light columns the per-IP-history read model carries — everything
+#: the WhoWas lookup endpoint serves, nothing it doesn't (no bodies).
+IP_HISTORY_COLUMNS = (
+    "ip", "round_id", "timestamp", "open_ports", "fetch_status",
+    "status_code", "server", "title", "template",
+)
+
+
+def shard_checksum(rows: Iterable[Mapping]) -> str:
+    """Digest of one shard's rows (insertion order): blake2b over each
+    row's canonical JSON (:meth:`RoundRecord.to_row` dicts with sorted
+    keys).  Journaled at commit time and recomputed by
+    :meth:`StoreBackend.verify_round` and the partition-journal merge."""
+    digest = hashlib.blake2b(digest_size=16)
+    for row in rows:
+        digest.update(
+            json.dumps(
+                dict(row), sort_keys=True, separators=(",", ":"),
+                ensure_ascii=False,
+            ).encode("utf-8")
+        )
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def rows_checksum(rows: Iterable[Mapping]) -> str:
+    """Order-insensitive digest over a set of dict rows — the view
+    audit's checksum (view row order is an implementation detail)."""
+    blobs = sorted(
+        json.dumps(dict(row), sort_keys=True, separators=(",", ":"),
+                   ensure_ascii=False)
+        for row in rows
+    )
+    digest = hashlib.blake2b(digest_size=16)
+    for blob in blobs:
+        digest.update(blob.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RoundInfo:
+    """Metadata about one round of scanning."""
+
+    round_id: int
+    timestamp: int          # day index when the round started
+    targets_probed: int
+    responsive_count: int
+    #: True when the round blew its error budget (too many classified
+    #: transport failures): the data is persisted but suspect.
+    degraded: bool = False
+    #: Classified transport errors observed during the round.
+    error_count: int = 0
+    #: Journal state: ``in_progress`` while shards are still being
+    #: written, ``complete``/``degraded`` once finalized.
+    status: str = ROUND_COMPLETE
+    #: Shard size the round was written with (0 = single-shot write);
+    #: a resumed round must reuse it so shard indices line up.
+    shard_size: int = 0
+
+    #: Wall-clock seconds the round engine spent producing the round
+    #: (the finalizing invocation's time; a crash-resumed round reports
+    #: the resuming run's duration — earlier attempts' clocks died with
+    #: their process).
+    duration_seconds: float = 0.0
+
+    @property
+    def table_name(self) -> str:
+        return f"round_{self.timestamp:05d}"
+
+    @property
+    def in_progress(self) -> bool:
+        return self.status == ROUND_IN_PROGRESS
+
+
+@dataclass(frozen=True)
+class ShardPayload:
+    """One shard's worth of data queued for the store writer.
+
+    The batch API (:meth:`StoreBackend.write_shards`) takes a sequence
+    of these and commits them in a single transaction.
+    """
+
+    shard_index: int
+    records: tuple[RoundRecord, ...]
+    errors: int = 0
+    operations: int = 0
+    quarantine: tuple[QuarantineRecord, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShardJournalEntry:
+    """One row of the committed-shard journal."""
+
+    round_id: int
+    shard_index: int
+    record_count: int
+    errors: int = 0
+    operations: int = 0
+    #: blake2b digest of the shard's rows ('' for pre-checksum shards).
+    checksum: str = ""
+    #: Quarantine entries committed with the shard.
+    quarantine_count: int = 0
+
+
+@dataclass
+class RoundVerification:
+    """Result of :meth:`StoreBackend.verify_round`: the round journal
+    walked, per-shard checksums recomputed, read models audited."""
+
+    round_id: int
+    timestamp: int
+    status: str
+    #: Shards present in the journal.
+    shards: int = 0
+    #: Shards whose recomputed digest matched the journaled one.
+    verified: int = 0
+    #: Expected shard indices with no journal entry (finalized rounds).
+    missing: list[int] = field(default_factory=list)
+    #: Shards whose rows no longer match their journaled checksum or
+    #: record count.
+    corrupt: list[int] = field(default_factory=list)
+    #: Shards written before checksums existed (nothing to verify).
+    unverifiable: list[int] = field(default_factory=list)
+    #: Rows in the round table not attributed to any journaled shard.
+    orphan_rows: int = 0
+    #: Quarantine entries not attributed to any journaled shard.
+    orphan_quarantine: int = 0
+    #: Materialized read models whose recomputed checksum no longer
+    #: matches the maintained table (empty for clean or view-less
+    #: legacy databases).
+    view_issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.missing and not self.corrupt
+            and self.orphan_rows == 0 and self.orphan_quarantine == 0
+            and not self.view_issues
+        )
+
+    def describe(self) -> str:
+        """One human-readable line for ``repro verify``."""
+        parts = [f"{self.verified}/{self.shards} shards verified"]
+        if self.unverifiable:
+            parts.append(f"{len(self.unverifiable)} unverifiable (legacy)")
+        if self.missing:
+            parts.append(f"MISSING shards {self.missing}")
+        if self.corrupt:
+            parts.append(f"CORRUPT shards {self.corrupt}")
+        if self.orphan_rows:
+            parts.append(f"{self.orphan_rows} orphan rows")
+        if self.orphan_quarantine:
+            parts.append(f"{self.orphan_quarantine} orphan quarantine entries")
+        if self.view_issues:
+            parts.append(f"STALE views {self.view_issues}")
+        state = "ok" if self.ok else "FAIL"
+        return (
+            f"round {self.round_id} (day {self.timestamp}, {self.status}): "
+            f"{state} — " + ", ".join(parts)
+        )
+
+
+def summarize_rows(row_dicts: Sequence[Mapping]) -> dict[str, int]:
+    """Fold one shard's rows into the round-summary increments shared
+    by every backend's view maintenance (and by the audits)."""
+    available = sum(
+        1 for row in row_dicts
+        if row["fetch_status"] == "ok" and row["status_code"] is not None
+    )
+    fetched = sum(
+        1 for row in row_dicts if row["fetch_status"] != "not-attempted"
+    )
+    return {
+        "responsive": len(row_dicts),
+        "available": available,
+        "fetched": fetched,
+    }
+
+
+def light_row(row: Mapping) -> dict:
+    """Project one full record row onto the per-IP-history read model.
+
+    Rows without stored page content carry serialised *default*
+    feature values (``"unknown"``); the read model nulls those out so
+    a view read reports exactly what a full-record read would (a
+    record with no body deserialises with ``features=None``)."""
+    projected = {name: row[name] for name in IP_HISTORY_COLUMNS}
+    if row["body"] is None:
+        projected["server"] = None
+        projected["title"] = None
+        projected["template"] = None
+    return projected
+
+
+class StoreBackend(ABC):
+    """Abstract measurement store: the seam the platform, the worker
+    merge path, the serving layer, and the analyses all program against.
+
+    Concrete engines subclass this and implement the abstract methods;
+    the base class carries the protocol dataclasses (above), the legacy
+    one-shot :meth:`write_round` template, writer-flush telemetry, and
+    default implementations that hold for any compliant backend.
+    """
+
+    #: Class-level alias kept for callers that historically reached the
+    #: allowlist through ``MeasurementStore.AGGREGATE_COLUMNS``.
+    AGGREGATE_COLUMNS = AGGREGATE_COLUMNS
+
+    #: Backend identifier ("sqlite", "columnar") — what
+    #: :func:`repro.core.store.open_store` selects on.
+    BACKEND = "abstract"
+
+    def __init__(self) -> None:
+        #: Writer telemetry, fed into PipelineStats by the platform.
+        self._writer_stats = {
+            "shard_commits": 0,
+            "flush_count": 0,
+            "flush_seconds": 0.0,
+            "max_flush_seconds": 0.0,
+            "max_batch_shards": 0,
+        }
+        tel = _telemetry.get()
+        self._m_commits = tel.counter(
+            "repro_store_commits_total",
+            "Shard-write transactions committed by the store",
+        )
+        self._m_commit_seconds = tel.histogram(
+            "repro_store_commit_seconds",
+            "Wall-clock per shard-write transaction (incl. fsync)",
+        )
+        self._m_view_folds = tel.counter(
+            "repro_view_folds_total",
+            "Shards folded into each materialized read model",
+            labels=("view",),
+        )
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+
+    def _note_flush(self, batch_shards: int, seconds: float) -> None:
+        stats = self._writer_stats
+        stats["shard_commits"] += batch_shards
+        stats["flush_count"] += 1
+        stats["flush_seconds"] += seconds
+        stats["max_flush_seconds"] = max(stats["max_flush_seconds"], seconds)
+        stats["max_batch_shards"] = max(stats["max_batch_shards"],
+                                        batch_shards)
+        self._m_commits.inc()
+        self._m_commit_seconds.observe(seconds)
+
+    def _note_view_fold(self) -> None:
+        for view in VIEW_NAMES:
+            self._m_view_folds.labels(view=view).inc()
+
+    def writer_stats_snapshot(self) -> dict[str, float]:
+        """Lifetime writer-flush telemetry (commit counts/latency) —
+        the platform diffs two snapshots to attribute flushes to one
+        round's :class:`~repro.core.records.PipelineStats`."""
+        return dict(self._writer_stats)
+
+    @contextmanager
+    def read_deadline(self, deadline: float | None, *, tick: int = 64):
+        """Bound reads on this store by a monotonic *deadline*
+        (``time.monotonic()`` seconds; ``None`` disables).  The base
+        implementation is a no-op context manager — engines that can
+        abort statements mid-flight (sqlite's progress handler)
+        override it."""
+        yield self
+
+    # ------------------------------------------------------------------
+    # journaled writes (abstract protocol)
+
+    @abstractmethod
+    def begin_round(
+        self,
+        round_id: int,
+        timestamp: int,
+        targets_probed: int,
+        *,
+        shard_size: int = 0,
+        fresh: bool = False,
+    ) -> RoundInfo:
+        """Open a round for shard-by-shard writing; returns its info.
+        Re-opening an ``in_progress`` round is the resume path (shards
+        and the journaled shard size are kept); ``fresh=True`` discards
+        any previous incarnation first.  Raises :class:`ValueError`
+        when *timestamp* already belongs to a different round."""
+
+    @abstractmethod
+    def write_shard(
+        self,
+        round_id: int,
+        shard_index: int,
+        records: Iterable[RoundRecord],
+        *,
+        errors: int = 0,
+        operations: int = 0,
+        quarantine: Iterable[QuarantineRecord] = (),
+    ) -> bool:
+        """Commit one shard atomically and idempotently (False for an
+        already-committed shard index).  The rows, the shard's
+        quarantine entries, the journal entry, and the read-model fold
+        land as one atomic unit."""
+
+    def write_shards(
+        self, round_id: int, shards: Sequence[ShardPayload]
+    ) -> int:
+        """Commit a batch of shards; engines that can amortise the
+        commit (one transaction, one fsync) override this.  Returns the
+        number of shards actually committed."""
+        committed = 0
+        for shard in shards:
+            committed += self.write_shard(
+                round_id, shard.shard_index, shard.records,
+                errors=shard.errors, operations=shard.operations,
+                quarantine=shard.quarantine,
+            )
+        return committed
+
+    @abstractmethod
+    def finalize_round(
+        self,
+        round_id: int,
+        *,
+        degraded: bool = False,
+        error_count: int | None = None,
+        duration_seconds: float = 0.0,
+    ) -> RoundInfo:
+        """Seal an open round and flip its status to
+        ``complete``/``degraded``."""
+
+    def write_round(
+        self,
+        round_id: int,
+        timestamp: int,
+        targets_probed: int,
+        records: Iterable[RoundRecord],
+        *,
+        degraded: bool = False,
+        error_count: int = 0,
+    ) -> RoundInfo:
+        """Persist one complete round in a single shard (legacy API).
+
+        Rewriting the *same* round_id replaces the round; reusing a
+        timestamp under a *different* round_id raises ValueError (the
+        two rounds would silently drop each other's data otherwise).
+        """
+        self.begin_round(round_id, timestamp, targets_probed, fresh=True)
+        self.write_shard(round_id, 0, records, errors=error_count)
+        return self.finalize_round(
+            round_id, degraded=degraded, error_count=error_count
+        )
+
+    # ------------------------------------------------------------------
+    # recovery / journal / integrity (abstract)
+
+    @abstractmethod
+    def open_rounds(self) -> list[RoundInfo]:
+        """Rounds a crash (or abort) left ``in_progress``, in
+        chronological order — the resume entry point."""
+
+    @abstractmethod
+    def completed_shards(self, round_id: int) -> set[int]:
+        """Shard indices that already committed for *round_id*."""
+
+    @abstractmethod
+    def shard_stats(self, round_id: int) -> tuple[int, int]:
+        """Summed (errors, operations) journaled across the round's
+        committed shards — survives a crash, unlike process counters."""
+
+    @abstractmethod
+    def shard_journal(self, round_id: int) -> list[ShardJournalEntry]:
+        """The round's committed-shard journal, ascending shard index."""
+
+    @abstractmethod
+    def shard_records(
+        self, round_id: int, shard_index: int
+    ) -> list[RoundRecord]:
+        """One committed shard's rows in insertion order (works on
+        rounds of any status — the merge path reads partition journals
+        that are still ``in_progress``)."""
+
+    @abstractmethod
+    def shard_quarantine(
+        self, round_id: int, shard_index: int
+    ) -> list[QuarantineRecord]:
+        """Quarantine entries committed with one shard, oldest first."""
+
+    @abstractmethod
+    def verify_round(self, round_id: int) -> RoundVerification:
+        """Walk one round's shard journal, recompute every shard's
+        checksum, and audit the materialized read models against the
+        base data."""
+
+    @abstractmethod
+    def delete_partial(self, round_id: int) -> None:
+        """Discard an ``in_progress`` round entirely (rows, journal,
+        metadata, view rows).  Finalized rounds are protected:
+        ValueError."""
+
+    @abstractmethod
+    def max_round_id(self) -> int:
+        """Highest round_id ever assigned (0 for an empty store),
+        including open rounds — the durable round-ID watermark."""
+
+    # ------------------------------------------------------------------
+    # quarantine (dead-letter)
+
+    @abstractmethod
+    def add_quarantine(self, entry: QuarantineRecord) -> int:
+        """Insert one quarantine entry outside the shard protocol
+        (used by tools and tests); returns its entry_id."""
+
+    @abstractmethod
+    def quarantine_rows(
+        self,
+        round_id: int | None = None,
+        *,
+        include_replayed: bool = True,
+    ) -> list[QuarantineRecord]:
+        """Quarantine entries, oldest first; optionally one round's,
+        optionally only the ones not yet replayed."""
+
+    @abstractmethod
+    def quarantine_count(self, round_id: int | None = None) -> int:
+        """Number of quarantine entries (optionally one round's)."""
+
+    @abstractmethod
+    def mark_quarantine_replayed(self, entry_id: int) -> None:
+        """Flip one entry's replayed flag."""
+
+    @abstractmethod
+    def update_features(
+        self, round_id: int, ip: int, features: PageFeatures
+    ) -> bool:
+        """Overwrite one row's feature columns — the ``repro quarantine
+        replay`` path.  Returns False when the IP has no row in the
+        round.  The owning shard's journaled checksum is recomputed and
+        the read models are re-folded for the row, so a legitimate
+        replay stays distinguishable from silent corruption."""
+
+    # ------------------------------------------------------------------
+    # campaign metadata
+
+    @abstractmethod
+    def set_meta(self, key: str, value: str) -> None:
+        """Persist one campaign-level key/value pair (upsert)."""
+
+    @abstractmethod
+    def get_meta(self, key: str, default: str | None = None) -> str | None:
+        """One campaign-level value, or *default*."""
+
+    @abstractmethod
+    def meta(self) -> dict[str, str]:
+        """All campaign-level key/value pairs."""
+
+    # ------------------------------------------------------------------
+    # reads
+
+    @abstractmethod
+    def rounds(self) -> list[RoundInfo]:
+        """All *finalized* rounds in chronological order (round_id
+        breaks timestamp ties); partial rounds are visible through
+        :meth:`open_rounds` instead."""
+
+    @abstractmethod
+    def round_info(self, round_id: int) -> RoundInfo:
+        """One finalized round's info; KeyError for unknown or
+        in-progress rounds."""
+
+    @abstractmethod
+    def round_stats(self, round_id: int) -> dict[str, int]:
+        """Aggregate row counts for one round (any status):
+        ``responsive``, ``available``, ``fetched`` and ``quarantined``.
+        Served from the round-summary read model when it is
+        maintained."""
+
+    @abstractmethod
+    def aggregate_column(
+        self, round_id: int, column: str, *, limit: int = 20
+    ) -> list[tuple[str, int]]:
+        """Top values of one feature *column* in one round with their
+        row counts, descending — the per-round cluster-aggregate read
+        behind ``repro serve``.  *column* must be in
+        :data:`AGGREGATE_COLUMNS`.  Served from the cluster-aggregate
+        read model when it is maintained."""
+
+    @abstractmethod
+    def records(self, round_id: int) -> Iterator[RoundRecord]:
+        """All records of one round."""
+
+    @abstractmethod
+    def record(self, round_id: int, ip: int) -> RoundRecord | None:
+        """One IP's record in one round, or None if unresponsive then."""
+
+    @abstractmethod
+    def history(self, ip: int) -> list[RoundRecord]:
+        """The WhoWas lookup: the full status/content history of an IP,
+        in chronological order (absent rounds = unresponsive)."""
+
+    def ip_history_rows(self, ip: int) -> list[dict]:
+        """The *light* WhoWas lookup: one dict per finalized round the
+        IP was responsive in, carrying only :data:`IP_HISTORY_COLUMNS`
+        — what the serving layer renders, without dragging page bodies
+        off disk.  Engines answer this from the per-IP-history read
+        model; the base fallback projects :meth:`history`."""
+        return [light_row(record.to_row()) for record in self.history(ip)]
+
+    @abstractmethod
+    def responsive_ips(self, round_id: int) -> set[int]:
+        """IPs with a row in one finalized round."""
+
+    # ------------------------------------------------------------------
+    # read models
+
+    @abstractmethod
+    def rebuild_views(self) -> int:
+        """Drop and refold every materialized read model from the base
+        data (the ``repro rebuild-views`` escape hatch); returns the
+        number of rounds refolded."""
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @classmethod
+    @abstractmethod
+    def open_readonly(cls, path: str, **kwargs) -> "StoreBackend":
+        """Open an existing database strictly for reading; never
+        creates or mutates files."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the backing resources (idempotent reads may fail
+        afterwards)."""
+
+    def __enter__(self) -> "StoreBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,4 +1,4 @@
-"""The WhoWas measurement database (§4).
+"""The SQLite reference engine of the WhoWas measurement database (§4).
 
 Mirrors the paper's storage layout: **each round of scanning uses a
 distinct table**, with the round's timestamp in the table name, plus a
@@ -15,249 +15,130 @@ Crash safety
 ------------
 The paper's campaigns run for months; losing one to a mid-round crash
 is unacceptable.  File-backed stores therefore run sqlite in WAL mode,
-and writes follow a **journaled round protocol**:
-
-* :meth:`begin_round` registers the round as ``in_progress`` and
-  creates its table;
-* :meth:`write_shard` commits one shard of records atomically and
-  idempotently (re-writing a shard that already committed is a no-op,
-  so a resumed process never duplicates rows);
-* :meth:`finalize_round` marks the round ``complete`` (or
-  ``degraded``) and makes it visible to :meth:`rounds`.
-
-A crash between shards leaves a resumable partial round that
-:meth:`open_rounds` surfaces and :meth:`completed_shards` describes;
-:meth:`delete_partial` discards one instead.  The legacy one-shot
-:meth:`write_round` is a thin wrapper over the protocol.
-
-The ``campaign_meta`` key/value table carries campaign-level progress
-(scenario name, completed days, seeds) so ``repro resume`` can pick a
-campaign back up from the database alone.
+and writes follow the **journaled round protocol** of
+:class:`~repro.core.store.base.StoreBackend`: ``begin_round`` /
+idempotent ``write_shard`` / ``finalize_round``.  A crash between
+shards leaves a resumable partial round that :meth:`open_rounds`
+surfaces and :meth:`completed_shards` describes.
 
 Shard integrity
 ---------------
-Every committed shard journals a **checksum**: a blake2b digest over
-the canonical JSON of its rows, in insertion order.  Checksums make
-torn or tampered data detectable — the multi-process coordinator
-verifies a partition journal's shards before merging them into the
-canonical store, and ``repro verify`` recomputes every round's shard
-digests offline (:meth:`verify_round`).  Each row also carries the
+Every committed shard journals a **checksum** (see
+:func:`~repro.core.store.base.shard_checksum`); each row carries the
 ``shard_index`` it was committed under, so rows can be attributed to
 their journal entry regardless of the order shards landed in.
+
+Materialized read models
+------------------------
+Three views are folded incrementally, **inside the same transaction**
+that commits each shard, so they can never drift from the base data
+across a crash:
+
+* ``view_ip_history`` — one light row per (ip, round): the WhoWas
+  lookup without dragging page bodies off disk.  Its ``(ip, round_id)``
+  WITHOUT-ROWID primary key doubles as the covering index for per-IP
+  record lookups.
+* ``view_round_summary`` — per-round responsive/available/fetched/
+  quarantined counters (``repro stats`` and ``/rounds/<id>``).
+* ``view_cluster_agg`` — per-round ``(column, value) → count`` for
+  every :data:`~repro.core.store.base.AGGREGATE_COLUMNS` column
+  (``/clusters/<id>``), replacing per-request GROUP-BY scans.
+
+``rebuild_views()`` refolds everything from the base tables (the
+``repro rebuild-views`` escape hatch); :meth:`verify_round` audits the
+views against the base data with the same checksum discipline as the
+shards.  Reads fall back to base-table scans for rounds written before
+the views existed (no summary row = unfolded round).
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import math
 import random
 import sqlite3
 import threading
 import time
+from collections import Counter
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Sequence
 
-from .backoff import backoff_delay
-from .records import PageFeatures, QuarantineRecord, RoundRecord
-from . import telemetry as _telemetry
-
-__all__ = [
-    "ROUND_IN_PROGRESS",
-    "ROUND_COMPLETE",
-    "ROUND_DEGRADED",
-    "RoundInfo",
-    "ShardPayload",
-    "ShardJournalEntry",
-    "RoundVerification",
-    "MeasurementStore",
-    "shard_checksum",
-    "is_interrupted",
-]
-
-
-def is_interrupted(exc: BaseException) -> bool:
-    """True when *exc* is sqlite aborting a statement mid-flight — the
-    error a :meth:`MeasurementStore.read_deadline` expiry (or an
-    explicit ``Connection.interrupt()``) surfaces as."""
-    return (
-        isinstance(exc, sqlite3.OperationalError)
-        and "interrupt" in str(exc).lower()
-    )
-
-#: ``rounds.round_status`` values of the journaled protocol.
-ROUND_IN_PROGRESS = "in_progress"
-ROUND_COMPLETE = "complete"
-ROUND_DEGRADED = "degraded"
-
-_COLUMNS: tuple[tuple[str, str], ...] = (
-    ("ip", "INTEGER NOT NULL"),
-    ("round_id", "INTEGER NOT NULL"),
-    ("timestamp", "INTEGER NOT NULL"),
-    ("probe_status", "TEXT NOT NULL"),
-    ("open_ports", "TEXT NOT NULL"),
-    ("fetch_status", "TEXT NOT NULL"),
-    ("url", "TEXT"),
-    ("status_code", "INTEGER"),
-    ("content_type", "TEXT"),
-    ("headers", "TEXT"),
-    ("body", "TEXT"),
-    ("error", "TEXT"),
-    ("error_class", "TEXT"),
-    ("probe_error_class", "TEXT"),
-    ("powered_by", "TEXT"),
-    ("description", "TEXT"),
-    ("header_string", "TEXT"),
-    ("html_length", "INTEGER"),
-    ("title", "TEXT"),
-    ("template", "TEXT"),
-    ("server", "TEXT"),
-    ("keywords", "TEXT"),
-    ("analytics_id", "TEXT"),
-    ("simhash", "TEXT"),
-    ("ssh_banner", "TEXT"),
+from ..backoff import backoff_delay
+from ..records import PageFeatures, QuarantineRecord, RoundRecord
+from . import base as _base
+from .base import (
+    AGGREGATE_COLUMNS,
+    COLUMN_NAMES,
+    COLUMNS,
+    IP_HISTORY_COLUMNS,
+    ROUND_COMPLETE,
+    ROUND_DEGRADED,
+    ROUND_IN_PROGRESS,
+    RoundInfo,
+    RoundVerification,
+    ShardJournalEntry,
+    ShardPayload,
+    StoreBackend,
+    rows_checksum,
+    shard_checksum,
 )
 
-_COLUMN_NAMES = tuple(name for name, _ in _COLUMNS)
+__all__ = ["MeasurementStore"]
+
+#: The feature columns ``update_features`` may change that also feed
+#: ``view_cluster_agg`` — the delta set the replay path re-folds.
+_REPLAYED_AGG_COLUMNS = ("powered_by", "title", "template", "server")
+
+_VIEW_TABLES = ("view_ip_history", "view_round_summary", "view_cluster_agg")
+
+#: SQL projection of a base-table row onto the per-IP-history read
+#: model — mirrors :func:`~repro.core.store.base.light_row` (feature
+#: columns are nulled for rows without stored page content).
+_LIGHT_SELECT = (
+    "ip, round_id, timestamp, open_ports, fetch_status, status_code,"
+    " CASE WHEN body IS NULL THEN NULL ELSE server END,"
+    " CASE WHEN body IS NULL THEN NULL ELSE title END,"
+    " CASE WHEN body IS NULL THEN NULL ELSE template END"
+)
 
 
-def shard_checksum(rows: Iterable[Mapping]) -> str:
-    """Digest of one shard's rows (insertion order): blake2b over each
-    row's canonical JSON (:meth:`RoundRecord.to_row` dicts with sorted
-    keys).  Written to ``round_shards.checksum`` at commit time and
-    recomputed by :meth:`MeasurementStore.verify_round` and the
-    partition-journal merge."""
-    digest = hashlib.blake2b(digest_size=16)
-    for row in rows:
-        digest.update(
-            json.dumps(
-                dict(row), sort_keys=True, separators=(",", ":"),
-                ensure_ascii=False,
-            ).encode("utf-8")
-        )
-        digest.update(b"\x00")
-    return digest.hexdigest()
+def _connect(
+    path: str, *, readonly: bool = False, busy_timeout_ms: int = 5_000
+) -> sqlite3.Connection:
+    """Open one sqlite connection with the store's pragma/URI dance.
 
-
-@dataclass(frozen=True)
-class RoundInfo:
-    """Metadata about one round of scanning."""
-
-    round_id: int
-    timestamp: int          # day index when the round started
-    targets_probed: int
-    responsive_count: int
-    #: True when the round blew its error budget (too many classified
-    #: transport failures): the data is persisted but suspect.
-    degraded: bool = False
-    #: Classified transport errors observed during the round.
-    error_count: int = 0
-    #: Journal state: ``in_progress`` while shards are still being
-    #: written, ``complete``/``degraded`` once finalized.
-    status: str = ROUND_COMPLETE
-    #: Shard size the round was written with (0 = single-shot write);
-    #: a resumed round must reuse it so shard indices line up.
-    shard_size: int = 0
-
-    #: Wall-clock seconds the round engine spent producing the round
-    #: (the finalizing invocation's time; a crash-resumed round reports
-    #: the resuming run's duration — earlier attempts' clocks died with
-    #: their process).
-    duration_seconds: float = 0.0
-
-    @property
-    def table_name(self) -> str:
-        return f"round_{self.timestamp:05d}"
-
-    @property
-    def in_progress(self) -> bool:
-        return self.status == ROUND_IN_PROGRESS
-
-
-@dataclass(frozen=True)
-class ShardPayload:
-    """One shard's worth of data queued for the store writer.
-
-    The batch API (:meth:`MeasurementStore.write_shards`) takes a
-    sequence of these and commits them in a single transaction.
+    Writers get WAL + ``synchronous=NORMAL`` (committed shards stay
+    durable across a crash, readers can inspect a live campaign);
+    read-only connections use sqlite's ``mode=ro`` URI *plus* the
+    ``query_only`` pragma, so they can never take a write lock or
+    mutate anything, even by accident — and never create files.
+    Both shapes share ``Row`` factory, ``busy_timeout``, and
+    ``check_same_thread=False`` (the store serialises access with its
+    own lock, and the pipeline may commit from a worker thread).
     """
-
-    shard_index: int
-    records: tuple[RoundRecord, ...]
-    errors: int = 0
-    operations: int = 0
-    quarantine: tuple[QuarantineRecord, ...] = ()
-
-
-@dataclass(frozen=True)
-class ShardJournalEntry:
-    """One row of the ``round_shards`` journal."""
-
-    round_id: int
-    shard_index: int
-    record_count: int
-    errors: int = 0
-    operations: int = 0
-    #: blake2b digest of the shard's rows ('' for pre-checksum shards).
-    checksum: str = ""
-    #: Quarantine entries committed with the shard.
-    quarantine_count: int = 0
-
-
-@dataclass
-class RoundVerification:
-    """Result of :meth:`MeasurementStore.verify_round`: the round
-    journal walked, per-shard checksums recomputed."""
-
-    round_id: int
-    timestamp: int
-    status: str
-    #: Shards present in the journal.
-    shards: int = 0
-    #: Shards whose recomputed digest matched the journaled one.
-    verified: int = 0
-    #: Expected shard indices with no journal entry (finalized rounds).
-    missing: list[int] = field(default_factory=list)
-    #: Shards whose rows no longer match their journaled checksum or
-    #: record count.
-    corrupt: list[int] = field(default_factory=list)
-    #: Shards written before checksums existed (nothing to verify).
-    unverifiable: list[int] = field(default_factory=list)
-    #: Rows in the round table not attributed to any journaled shard.
-    orphan_rows: int = 0
-    #: Quarantine entries not attributed to any journaled shard.
-    orphan_quarantine: int = 0
-
-    @property
-    def ok(self) -> bool:
-        return (
-            not self.missing and not self.corrupt
-            and self.orphan_rows == 0 and self.orphan_quarantine == 0
+    if readonly:
+        if path == ":memory:":
+            raise ValueError("cannot open an in-memory store read-only")
+        conn = sqlite3.connect(
+            f"file:{path}?mode=ro", uri=True, check_same_thread=False
         )
-
-    def describe(self) -> str:
-        """One human-readable line for ``repro verify``."""
-        parts = [f"{self.verified}/{self.shards} shards verified"]
-        if self.unverifiable:
-            parts.append(f"{len(self.unverifiable)} unverifiable (legacy)")
-        if self.missing:
-            parts.append(f"MISSING shards {self.missing}")
-        if self.corrupt:
-            parts.append(f"CORRUPT shards {self.corrupt}")
-        if self.orphan_rows:
-            parts.append(f"{self.orphan_rows} orphan rows")
-        if self.orphan_quarantine:
-            parts.append(f"{self.orphan_quarantine} orphan quarantine entries")
-        state = "ok" if self.ok else "FAIL"
-        return (
-            f"round {self.round_id} (day {self.timestamp}, {self.status}): "
-            f"{state} — " + ", ".join(parts)
-        )
+    else:
+        conn = sqlite3.connect(path, check_same_thread=False)
+    conn.row_factory = sqlite3.Row
+    conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+    if readonly:
+        conn.execute("PRAGMA query_only=ON")
+    else:
+        # sqlite silently keeps the "memory" journal for :memory: stores.
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+    return conn
 
 
-class MeasurementStore:
-    """sqlite3-backed store with one table per scan round."""
+class MeasurementStore(StoreBackend):
+    """sqlite3-backed store with one table per scan round — the
+    reference :class:`StoreBackend` implementation."""
+
+    BACKEND = "sqlite"
 
     def __init__(
         self,
@@ -269,6 +150,7 @@ class MeasurementStore:
         busy_backoff_max: float = 1.0,
         readonly: bool = False,
     ):
+        super().__init__()
         #: The database file this store is backed by (":memory:" for
         #: ephemeral stores) — the coordinator derives partition-journal
         #: paths from it.
@@ -284,53 +166,23 @@ class MeasurementStore:
         self._busy_backoff_base = busy_backoff_base
         self._busy_backoff_max = busy_backoff_max
         self._busy_random = random.Random()  # jitter only, never data
-        # The pipeline's writer stage may run batch commits in a worker
-        # thread (PipelineConfig.writer_offload) so fsync never blocks
-        # the event loop; the RLock serialises all connection access.
-        if readonly:
-            if path == ":memory:":
-                raise ValueError("cannot open an in-memory store read-only")
-            self._conn = sqlite3.connect(
-                f"file:{path}?mode=ro", uri=True, check_same_thread=False
-            )
-        else:
-            self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._lock = threading.RLock()
-        #: Writer telemetry, fed into PipelineStats by the platform.
-        self._writer_stats = {
-            "shard_commits": 0,
-            "flush_count": 0,
-            "flush_seconds": 0.0,
-            "max_flush_seconds": 0.0,
-            "max_batch_shards": 0,
-        }
-        tel = _telemetry.get()
-        self._m_commits = tel.counter(
-            "repro_store_commits_total",
-            "Shard-write transactions committed by the store",
-        )
-        self._m_commit_seconds = tel.histogram(
-            "repro_store_commit_seconds",
-            "Wall-clock per shard-write transaction (incl. fsync)",
-        )
-        self._m_busy_retries = tel.counter(
+        self._m_busy_retries = _base._telemetry.get().counter(
             "repro_store_busy_retries_total",
             "Commits re-issued after SQLITE_BUSY/locked",
         )
-        self._conn.row_factory = sqlite3.Row
-        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+        # The pipeline's writer stage may run batch commits in a worker
+        # thread (PipelineConfig.writer_offload) so fsync never blocks
+        # the event loop; the RLock serialises all connection access.
+        self._conn = _connect(
+            path, readonly=readonly, busy_timeout_ms=busy_timeout_ms
+        )
+        self._lock = threading.RLock()
         if readonly:
-            # Belt and braces on top of mode=ro: even an accidental
-            # write statement on this connection is refused by sqlite
-            # itself, and no DDL/migration runs — a reader must never
-            # mutate (or write-lock) a live campaign database.
-            self._conn.execute("PRAGMA query_only=ON")
+            # No schema DDL or migration runs on a reader; view-backed
+            # read paths are available only when the writer (or a
+            # migration) created the tables.
+            self._has_views = self._table_exists("view_round_summary")
             return
-        # WAL keeps committed shards durable across a crash and lets a
-        # reader (e.g. `repro report`) inspect a live campaign; sqlite
-        # silently keeps the "memory" journal for :memory: stores.
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS rounds ("
             "  round_id INTEGER PRIMARY KEY,"
@@ -381,8 +233,50 @@ class MeasurementStore:
             "  shard_index INTEGER NOT NULL DEFAULT 0"
             ")"
         )
+        # Materialized read models.  The (ip, round_id) WITHOUT-ROWID
+        # primary key IS the per-IP covering index: a history lookup is
+        # one clustered B-tree range scan over light rows.  Creating
+        # these on an existing database is the schema migration — old
+        # rounds simply have no summary row until `repro rebuild-views`.
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS view_ip_history ("
+            "  ip INTEGER NOT NULL,"
+            "  round_id INTEGER NOT NULL,"
+            "  timestamp INTEGER NOT NULL,"
+            "  open_ports TEXT NOT NULL,"
+            "  fetch_status TEXT NOT NULL,"
+            "  status_code INTEGER,"
+            "  server TEXT,"
+            "  title TEXT,"
+            "  template TEXT,"
+            "  PRIMARY KEY (ip, round_id)"
+            ") WITHOUT ROWID"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS view_round_summary ("
+            "  round_id INTEGER PRIMARY KEY,"
+            "  responsive INTEGER NOT NULL DEFAULT 0,"
+            "  available INTEGER NOT NULL DEFAULT 0,"
+            "  fetched INTEGER NOT NULL DEFAULT 0,"
+            "  quarantined INTEGER NOT NULL DEFAULT 0"
+            ")"
+        )
+        # `value` is declared without a type on purpose: no affinity,
+        # so integer values (status_code) keep integer ordering and
+        # text values keep text ordering — matching the base tables.
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS view_cluster_agg ("
+            "  round_id INTEGER NOT NULL,"
+            "  column_name TEXT NOT NULL,"
+            "  value,"
+            "  n INTEGER NOT NULL DEFAULT 0,"
+            "  PRIMARY KEY (round_id, column_name, value)"
+            ") WITHOUT ROWID"
+        )
+        self._has_views = True
         self._migrate_rounds_table()
         self._migrate_shard_tables()
+        self._migrate_round_indexes()
         self._commit()
 
     def _migrate_rounds_table(self) -> None:
@@ -421,6 +315,24 @@ class MeasurementStore:
                 "REAL NOT NULL DEFAULT 0"
             )
 
+    def _migrate_round_indexes(self) -> None:
+        """Backfill the per-round ``(ip)`` index.  Finalize creates it,
+        so only tables from runs that crashed between their last shard
+        and finalize (then resumed on older code) can lack it — but a
+        missing one turns every record/history lookup into a full
+        table scan, so opening a writer repairs it unconditionally."""
+        for row in self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        ).fetchall():
+            table = row["name"]
+            if not (table.startswith("round_") and
+                    table[len("round_"):].isdigit()):
+                continue
+            self._conn.execute(
+                f"CREATE INDEX IF NOT EXISTS idx_{table}_ip "
+                f"ON {table} (ip)"
+            )
+
     def _migrate_shard_tables(self) -> None:
         """Upgrade databases written before shard checksums existed.
         Legacy shards keep an empty checksum — :meth:`verify_round`
@@ -451,15 +363,10 @@ class MeasurementStore:
 
     @classmethod
     def open_readonly(cls, path: str, **kwargs) -> "MeasurementStore":
-        """Open an existing database strictly for reading.
-
-        The connection uses sqlite's ``mode=ro`` URI plus the
-        ``query_only`` pragma, so it can never take a write lock — a
-        query tool (``repro serve``/``stats``/``rounds``/``verify``)
-        pointed at a live campaign database cannot stall the writer or
-        mutate anything, even by accident.  No schema DDL or migration
-        runs.  Raises :class:`sqlite3.OperationalError` when *path*
-        does not exist (read-only mode never creates files)."""
+        """Open an existing database strictly for reading (see
+        :func:`_connect` for the connection shape).  Raises
+        :class:`sqlite3.OperationalError` when *path* does not exist
+        (read-only mode never creates files)."""
         return cls(path, readonly=True, **kwargs)
 
     @contextmanager
@@ -470,10 +377,10 @@ class MeasurementStore:
         Implemented with sqlite's progress handler: once the deadline
         passes, the running statement is aborted and sqlite raises
         ``OperationalError('interrupted')`` — classify it with
-        :func:`is_interrupted`.  This is how the serving layer's
-        per-request deadline budget propagates *into* store reads, so a
-        pathological query fails at its budget instead of piling up
-        behind the connection."""
+        :func:`~repro.core.store.base.is_interrupted`.  This is how the
+        serving layer's per-request deadline budget propagates *into*
+        store reads, so a pathological query fails at its budget
+        instead of piling up behind the connection."""
         if deadline is None:
             yield self
             return
@@ -492,6 +399,12 @@ class MeasurementStore:
             row["name"] == column
             for row in self._conn.execute(f"PRAGMA table_info({table})")
         )
+
+    def _table_exists(self, table: str) -> bool:
+        return self._conn.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = ?",
+            (table,),
+        ).fetchone() is not None
 
     def _commit(self) -> None:
         """Commit with a bounded jittered-backoff retry on SQLITE_BUSY.
@@ -532,19 +445,6 @@ class MeasurementStore:
         shard_size: int = 0,
         fresh: bool = False,
     ) -> RoundInfo:
-        """Open a round for shard-by-shard writing; returns its info.
-
-        Re-opening a round that is already ``in_progress`` is the
-        resume path: the table, its committed shards, and the
-        originally-journaled *shard_size* are kept (the caller must
-        shard by the returned :attr:`RoundInfo.shard_size` so indices
-        line up).  ``fresh=True`` discards any previous incarnation of
-        the round first (the legacy :meth:`write_round` rewrite
-        semantics).  Raises :class:`ValueError` when *timestamp* is
-        already used by a different round — two rounds sharing a
-        timestamp would share a table name and silently clobber each
-        other.
-        """
         with self._lock:
             clash = self._conn.execute(
                 "SELECT round_id FROM rounds "
@@ -571,6 +471,7 @@ class MeasurementStore:
                     self._conn.execute(
                         "DELETE FROM rounds WHERE round_id = ?", (round_id,)
                     )
+                    self._delete_view_rows(round_id)
                 elif row["round_status"] == ROUND_IN_PROGRESS:
                     # Resume: keep shards.  Tables written before the
                     # shard_index bookkeeping column gain it here so
@@ -584,7 +485,7 @@ class MeasurementStore:
                     return self._any_round(round_id)
                 else:
                     raise ValueError(f"round {round_id} is already finalized")
-            columns_sql = ", ".join(f"{name} {sql}" for name, sql in _COLUMNS)
+            columns_sql = ", ".join(f"{name} {sql}" for name, sql in COLUMNS)
             self._conn.execute(
                 f"CREATE TABLE IF NOT EXISTS {table} "
                 f"({columns_sql}, shard_index INTEGER NOT NULL DEFAULT 0)"
@@ -610,13 +511,11 @@ class MeasurementStore:
         """Commit one shard of a round atomically.
 
         Idempotent: a shard index that already committed is skipped
-        (returns False), so a crashed-and-resumed process can blindly
-        replay its shard sequence without duplicating rows.  The rows,
-        the shard's *quarantine* entries, and the shard journal entry
-        land in one transaction — a crash mid-write rolls the whole
-        shard back, and the committed-shard skip covers quarantine
-        entries too (no duplicates on resume).
-        """
+        (returns False).  The rows, the shard's *quarantine* entries,
+        the shard journal entry, and the read-model fold land in one
+        transaction — a crash mid-write rolls the whole shard back,
+        and the committed-shard skip covers quarantine entries and the
+        fold too (no duplicates on resume)."""
         with self._lock:
             info = self._open_round(round_id)
             started = time.perf_counter()
@@ -645,8 +544,7 @@ class MeasurementStore:
         indices inside the batch are skipped, exactly as in
         :meth:`write_shard` — and an error rolls the whole batch back,
         so a crash mid-batch loses at most the batch, never half a
-        shard.  Returns the number of shards actually committed.
-        """
+        shard.  Returns the number of shards actually committed."""
         with self._lock:
             info = self._open_round(round_id)
             started = time.perf_counter()
@@ -687,16 +585,16 @@ class MeasurementStore:
         row_dicts = [record.to_row() for record in records]
         checksum = shard_checksum(row_dicts)
         entries = list(quarantine)
-        placeholders = ", ".join("?" for _ in _COLUMN_NAMES)
+        placeholders = ", ".join("?" for _ in COLUMN_NAMES)
         # Each row carries the shard index it was committed under so
         # verification/merge can attribute rows to journal entries in
         # any landing order (resume, partition merge, salvage).
         self._conn.executemany(
             f"INSERT INTO {info.table_name} "
-            f"({', '.join(_COLUMN_NAMES)}, shard_index) "
+            f"({', '.join(COLUMN_NAMES)}, shard_index) "
             f"VALUES ({placeholders}, ?)",
             (
-                tuple(row[name] for name in _COLUMN_NAMES) + (shard_index,)
+                tuple(row[name] for name in COLUMN_NAMES) + (shard_index,)
                 for row in row_dicts
             ),
         )
@@ -717,25 +615,56 @@ class MeasurementStore:
             (info.round_id, shard_index, len(row_dicts), errors, operations,
              checksum, len(entries)),
         )
+        self._fold_rows(info.round_id, row_dicts, len(entries))
         return True
 
-    def _note_flush(self, batch_shards: int, seconds: float) -> None:
-        stats = self._writer_stats
-        stats["shard_commits"] += batch_shards
-        stats["flush_count"] += 1
-        stats["flush_seconds"] += seconds
-        stats["max_flush_seconds"] = max(stats["max_flush_seconds"], seconds)
-        stats["max_batch_shards"] = max(stats["max_batch_shards"],
-                                        batch_shards)
-        self._m_commits.inc()
-        self._m_commit_seconds.observe(seconds)
+    def _fold_rows(
+        self, round_id: int, row_dicts: Sequence[dict], quarantined: int
+    ) -> None:
+        """Stage one committed shard's fold into the three read models
+        on the open transaction (the shard and its fold are one atomic
+        unit).  Always upserts the summary — even for an empty shard —
+        so summary-row presence marks the round as view-maintained."""
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO view_ip_history "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                tuple(_base.light_row(row)[name]
+                      for name in IP_HISTORY_COLUMNS)
+                for row in row_dicts
+            ),
+        )
+        counts = _base.summarize_rows(row_dicts)
+        self._conn.execute(
+            "INSERT INTO view_round_summary VALUES (?, ?, ?, ?, ?) "
+            "ON CONFLICT(round_id) DO UPDATE SET"
+            " responsive = responsive + excluded.responsive,"
+            " available = available + excluded.available,"
+            " fetched = fetched + excluded.fetched,"
+            " quarantined = quarantined + excluded.quarantined",
+            (round_id, counts["responsive"], counts["available"],
+             counts["fetched"], quarantined),
+        )
+        for column in sorted(AGGREGATE_COLUMNS):
+            tally = Counter(
+                row[column] for row in row_dicts if row[column] is not None
+            )
+            self._conn.executemany(
+                "INSERT INTO view_cluster_agg VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(round_id, column_name, value) "
+                "DO UPDATE SET n = n + excluded.n",
+                (
+                    (round_id, column, value, count)
+                    for value, count in tally.items()
+                ),
+            )
+        self._note_view_fold()
 
-    def writer_stats_snapshot(self) -> dict[str, float]:
-        """Lifetime writer-flush telemetry (commit counts/latency) —
-        the platform diffs two snapshots to attribute flushes to one
-        round's :class:`~repro.core.records.PipelineStats`."""
-        with self._lock:
-            return dict(self._writer_stats)
+    def _delete_view_rows(self, round_id: int) -> None:
+        for table in _VIEW_TABLES:
+            self._conn.execute(
+                f"DELETE FROM {table} WHERE round_id = ?", (round_id,)
+            )
 
     def finalize_round(
         self,
@@ -776,34 +705,10 @@ class MeasurementStore:
                 duration_seconds=float(duration_seconds),
             )
 
-    def write_round(
-        self,
-        round_id: int,
-        timestamp: int,
-        targets_probed: int,
-        records: Iterable[RoundRecord],
-        *,
-        degraded: bool = False,
-        error_count: int = 0,
-    ) -> RoundInfo:
-        """Persist one complete round in a single shard (legacy API).
-
-        Rewriting the *same* round_id replaces the round; reusing a
-        timestamp under a *different* round_id raises ValueError (the
-        two rounds would silently drop each other's table otherwise).
-        """
-        self.begin_round(round_id, timestamp, targets_probed, fresh=True)
-        self.write_shard(round_id, 0, records, errors=error_count)
-        return self.finalize_round(
-            round_id, degraded=degraded, error_count=error_count
-        )
-
     # ------------------------------------------------------------------
     # recovery
 
     def open_rounds(self) -> list[RoundInfo]:
-        """Rounds a crash (or abort) left ``in_progress``, in
-        chronological order — the resume entry point."""
         cursor = self._conn.execute(
             f"SELECT {self._ROUND_COLUMNS} FROM rounds "
             "WHERE round_status = ? ORDER BY timestamp, round_id",
@@ -812,7 +717,6 @@ class MeasurementStore:
         return [self._round_info(row) for row in cursor.fetchall()]
 
     def completed_shards(self, round_id: int) -> set[int]:
-        """Shard indices that already committed for *round_id*."""
         cursor = self._conn.execute(
             "SELECT shard_index FROM round_shards WHERE round_id = ?",
             (round_id,),
@@ -820,8 +724,6 @@ class MeasurementStore:
         return {row[0] for row in cursor.fetchall()}
 
     def shard_stats(self, round_id: int) -> tuple[int, int]:
-        """Summed (errors, operations) journaled across the round's
-        committed shards — survives a crash, unlike process counters."""
         row = self._conn.execute(
             "SELECT COALESCE(SUM(errors), 0), COALESCE(SUM(operations), 0) "
             "FROM round_shards WHERE round_id = ?",
@@ -833,7 +735,6 @@ class MeasurementStore:
     # shard journal & integrity
 
     def shard_journal(self, round_id: int) -> list[ShardJournalEntry]:
-        """The round's committed-shard journal, ascending shard index."""
         cursor = self._conn.execute(
             "SELECT round_id, shard_index, record_count, errors,"
             " operations, checksum, quarantine_count"
@@ -853,9 +754,6 @@ class MeasurementStore:
     def shard_records(
         self, round_id: int, shard_index: int
     ) -> list[RoundRecord]:
-        """One committed shard's rows in insertion order (works on
-        rounds of any status — the merge path reads partition journals
-        that are still ``in_progress``)."""
         info = self._any_round(round_id)
         cursor = self._conn.execute(
             f"SELECT * FROM {info.table_name} WHERE shard_index = ? "
@@ -867,7 +765,6 @@ class MeasurementStore:
     def shard_quarantine(
         self, round_id: int, shard_index: int
     ) -> list[QuarantineRecord]:
-        """Quarantine entries committed with one shard, oldest first."""
         cursor = self._conn.execute(
             "SELECT * FROM quarantine "
             "WHERE round_id = ? AND shard_index = ? ORDER BY entry_id",
@@ -879,8 +776,9 @@ class MeasurementStore:
         """Walk one round's shard journal and recompute every shard's
         checksum: reports missing shards (journal gaps in a finalized
         round), corrupt shards (digest or row-count mismatch), legacy
-        shards with no digest, and orphaned rows/quarantine entries not
-        attributed to any journaled shard."""
+        shards with no digest, orphaned rows/quarantine entries not
+        attributed to any journaled shard, and read models whose
+        contents no longer match a refold of the base data."""
         with self._lock:
             info = self._any_round(round_id)
             entries = self.shard_journal(round_id)
@@ -934,11 +832,67 @@ class MeasurementStore:
             report.orphan_quarantine = (
                 total_quarantine - attributed_quarantine
             )
+            self._audit_views(info, report)
             return report
 
+    def _audit_views(
+        self, info: RoundInfo, report: RoundVerification
+    ) -> None:
+        """Audit the three read models for one round against a refold
+        of its base table, appending stale view names to
+        ``report.view_issues``.  Rounds with no summary row (written
+        before the views existed, or awaiting ``repro rebuild-views``)
+        are skipped — absence is legacy, not corruption."""
+        if not self._has_views or not self._folded(info.round_id):
+            return
+        table = info.table_name
+        summary = self._conn.execute(
+            "SELECT responsive, available, fetched, quarantined "
+            "FROM view_round_summary WHERE round_id = ?",
+            (info.round_id,),
+        ).fetchone()
+        expected = self._scan_counts(table)
+        expected["quarantined"] = self._journal_quarantine(info.round_id)
+        actual = {key: int(summary[key]) for key in expected}
+        if actual != expected:
+            report.view_issues.append("round_summary")
+        expected_rows = [
+            dict(zip(IP_HISTORY_COLUMNS, row))
+            for row in self._conn.execute(
+                f"SELECT {_LIGHT_SELECT} FROM {table}"
+            )
+        ]
+        actual_rows = [
+            dict(zip(IP_HISTORY_COLUMNS, row))
+            for row in self._conn.execute(
+                f"SELECT {', '.join(IP_HISTORY_COLUMNS)} "
+                "FROM view_ip_history WHERE round_id = ?",
+                (info.round_id,),
+            )
+        ]
+        if rows_checksum(expected_rows) != rows_checksum(actual_rows):
+            report.view_issues.append("ip_history")
+        expected_agg = []
+        for column in sorted(AGGREGATE_COLUMNS):
+            expected_agg.extend(
+                {"column_name": column, "value": row[0], "n": int(row[1])}
+                for row in self._conn.execute(
+                    f"SELECT {column}, COUNT(*) FROM {table} "
+                    f"WHERE {column} IS NOT NULL GROUP BY {column}"
+                )
+            )
+        actual_agg = [
+            {"column_name": row[0], "value": row[1], "n": int(row[2])}
+            for row in self._conn.execute(
+                "SELECT column_name, value, n FROM view_cluster_agg "
+                "WHERE round_id = ?",
+                (info.round_id,),
+            )
+        ]
+        if rows_checksum(expected_agg) != rows_checksum(actual_agg):
+            report.view_issues.append("cluster_agg")
+
     def delete_partial(self, round_id: int) -> None:
-        """Discard an ``in_progress`` round entirely (table, journal,
-        metadata).  Finalized rounds are protected: ValueError."""
         info = self._any_round(round_id)
         if info.status != ROUND_IN_PROGRESS:
             raise ValueError(
@@ -951,11 +905,10 @@ class MeasurementStore:
         self._conn.execute(
             "DELETE FROM rounds WHERE round_id = ?", (round_id,)
         )
+        self._delete_view_rows(round_id)
         self._commit()
 
     def max_round_id(self) -> int:
-        """Highest round_id ever assigned (0 for an empty store),
-        including open rounds — the durable round-ID watermark."""
         row = self._conn.execute(
             "SELECT COALESCE(MAX(round_id), 0) FROM rounds"
         ).fetchone()
@@ -965,8 +918,6 @@ class MeasurementStore:
     # quarantine (dead-letter)
 
     def add_quarantine(self, entry: QuarantineRecord) -> int:
-        """Insert one quarantine entry outside the shard protocol
-        (used by tools and tests); returns its entry_id."""
         cursor = self._conn.execute(
             "INSERT INTO quarantine "
             "(round_id, ip, timestamp, stage, verdict, error_class,"
@@ -985,8 +936,6 @@ class MeasurementStore:
         *,
         include_replayed: bool = True,
     ) -> list[QuarantineRecord]:
-        """Quarantine entries, oldest first; optionally one round's,
-        optionally only the ones not yet replayed."""
         sql = "SELECT * FROM quarantine"
         clauses, params = [], []
         if round_id is not None:
@@ -1022,13 +971,13 @@ class MeasurementStore:
     def update_features(
         self, round_id: int, ip: int, features: PageFeatures
     ) -> bool:
-        """Overwrite one row's feature columns — the ``repro quarantine
-        replay`` path, where a fixed extractor re-processes a stored
-        body.  Returns False when the IP has no row in the round.  The
-        owning shard's journaled checksum is recomputed so a legitimate
-        replay is distinguishable from silent corruption."""
         with self._lock:
             info = self._any_round(round_id)
+            old = self._conn.execute(
+                f"SELECT {', '.join(_REPLAYED_AGG_COLUMNS)} "
+                f"FROM {info.table_name} WHERE ip = ?",
+                (ip,),
+            ).fetchone()
             cursor = self._conn.execute(
                 f"UPDATE {info.table_name} SET"
                 " powered_by = ?, description = ?, header_string = ?,"
@@ -1059,14 +1008,64 @@ class MeasurementStore:
                         "AND checksum != ''",
                         (shard_checksum(rows), round_id, owner[0]),
                     )
+            if cursor.rowcount > 0 and old is not None:
+                self._refold_replayed_row(info, ip, old)
             self._commit()
             return cursor.rowcount > 0
+
+    def _refold_replayed_row(
+        self, info: RoundInfo, ip: int, old: sqlite3.Row
+    ) -> None:
+        """Re-fold the read models after ``update_features`` changed a
+        row in place: replace the IP's light history row and shift the
+        cluster-aggregate counts from the old feature values to the new
+        ones (the round summary is unaffected — replay never changes
+        fetch_status or status_code)."""
+        if not self._folded(info.round_id):
+            return
+        row = self._conn.execute(
+            f"SELECT {_LIGHT_SELECT} FROM {info.table_name} WHERE ip = ?",
+            (ip,),
+        ).fetchone()
+        if row is None:
+            return
+        self._conn.execute(
+            "INSERT OR REPLACE INTO view_ip_history "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            tuple(row),
+        )
+        new_row = self._conn.execute(
+            f"SELECT {', '.join(_REPLAYED_AGG_COLUMNS)} "
+            f"FROM {info.table_name} WHERE ip = ?",
+            (ip,),
+        ).fetchone()
+        for column in _REPLAYED_AGG_COLUMNS:
+            old_value, new_value = old[column], new_row[column]
+            if old_value == new_value:
+                continue
+            if old_value is not None:
+                self._conn.execute(
+                    "UPDATE view_cluster_agg SET n = n - 1 WHERE"
+                    " round_id = ? AND column_name = ? AND value = ?",
+                    (info.round_id, column, old_value),
+                )
+                self._conn.execute(
+                    "DELETE FROM view_cluster_agg WHERE round_id = ?"
+                    " AND column_name = ? AND value = ? AND n <= 0",
+                    (info.round_id, column, old_value),
+                )
+            if new_value is not None:
+                self._conn.execute(
+                    "INSERT INTO view_cluster_agg VALUES (?, ?, ?, 1) "
+                    "ON CONFLICT(round_id, column_name, value) "
+                    "DO UPDATE SET n = n + 1",
+                    (info.round_id, column, new_value),
+                )
 
     # ------------------------------------------------------------------
     # campaign metadata
 
     def set_meta(self, key: str, value: str) -> None:
-        """Persist one campaign-level key/value pair (upsert)."""
         with self._lock:
             self._conn.execute(
                 "INSERT INTO campaign_meta VALUES (?, ?) "
@@ -1104,10 +1103,6 @@ class MeasurementStore:
         )
 
     def rounds(self) -> list[RoundInfo]:
-        """All *finalized* rounds in chronological order (round_id
-        breaks timestamp ties so the ordering is stable); partial
-        rounds are visible through :meth:`open_rounds` instead, so
-        analyses never see a half-written round."""
         cursor = self._conn.execute(
             f"SELECT {self._ROUND_COLUMNS} FROM rounds "
             "WHERE round_status != ? ORDER BY timestamp, round_id",
@@ -1137,18 +1132,39 @@ class MeasurementStore:
             raise ValueError(f"round {round_id} is not open for writing")
         return info
 
-    def round_stats(self, round_id: int) -> dict[str, int]:
-        """Aggregate row counts for one round (any status): responsive
-        rows, *available* rows (HTTP response received), and rows where
-        a fetch was attempted."""
-        info = self._any_round(round_id)
+    def _folded(self, round_id: int) -> bool:
+        """True when the round has a summary row — i.e. its read models
+        are being maintained (rounds written before the views existed
+        have none until ``repro rebuild-views``)."""
+        return self._conn.execute(
+            "SELECT 1 FROM view_round_summary WHERE round_id = ?",
+            (round_id,),
+        ).fetchone() is not None
+
+    def _all_finalized_folded(self) -> bool:
+        """True when every finalized round has a summary row, so the
+        cross-round ``view_ip_history`` read is complete (a mixed
+        legacy/new database must fall back to base scans)."""
+        total = self._conn.execute(
+            "SELECT COUNT(*) FROM rounds WHERE round_status != ?",
+            (ROUND_IN_PROGRESS,),
+        ).fetchone()[0]
+        folded = self._conn.execute(
+            "SELECT COUNT(*) FROM view_round_summary s"
+            " JOIN rounds r ON r.round_id = s.round_id"
+            " WHERE r.round_status != ?",
+            (ROUND_IN_PROGRESS,),
+        ).fetchone()[0]
+        return int(folded) == int(total)
+
+    def _scan_counts(self, table: str) -> dict[str, int]:
         row = self._conn.execute(
             "SELECT COUNT(*),"
             " COALESCE(SUM(CASE WHEN fetch_status = 'ok'"
             "   AND status_code IS NOT NULL THEN 1 ELSE 0 END), 0),"
             " COALESCE(SUM(CASE WHEN fetch_status != 'not-attempted'"
             "   THEN 1 ELSE 0 END), 0) "
-            f"FROM {info.table_name}"
+            f"FROM {table}"
         ).fetchone()
         return {
             "responsive": int(row[0]),
@@ -1156,43 +1172,70 @@ class MeasurementStore:
             "fetched": int(row[2]),
         }
 
-    #: Feature columns :meth:`aggregate_column` may group by — a strict
-    #: allowlist since the column name is interpolated into SQL.
-    AGGREGATE_COLUMNS = frozenset(
-        {"template", "server", "powered_by", "content_type",
-         "status_code", "title"}
-    )
+    def _journal_quarantine(self, round_id: int) -> int:
+        """Quarantine entries journaled with the round's shards (the
+        summary's ``quarantined`` semantics — tool-added entries live
+        outside the shard protocol)."""
+        if not self._table_exists("round_shards"):
+            return 0
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(quarantine_count), 0) FROM round_shards "
+            "WHERE round_id = ?",
+            (round_id,),
+        ).fetchone()
+        return int(row[0])
+
+    def round_stats(self, round_id: int) -> dict[str, int]:
+        with self._lock:
+            info = self._any_round(round_id)
+            if self._has_views:
+                row = self._conn.execute(
+                    "SELECT responsive, available, fetched, quarantined "
+                    "FROM view_round_summary WHERE round_id = ?",
+                    (round_id,),
+                ).fetchone()
+                if row is not None:
+                    return {
+                        key: int(row[key])
+                        for key in ("responsive", "available", "fetched",
+                                    "quarantined")
+                    }
+            stats = self._scan_counts(info.table_name)
+            stats["quarantined"] = self._journal_quarantine(round_id)
+            return stats
 
     def aggregate_column(
         self, round_id: int, column: str, *, limit: int = 20
     ) -> list[tuple[str, int]]:
-        """Top values of one feature *column* in one round with their
-        row counts, descending — the cheap per-round cluster-aggregate
-        read behind ``repro serve`` (full §5 clustering is a batch job,
-        not a request-path one).  *column* must be in
-        :data:`AGGREGATE_COLUMNS`."""
-        if column not in self.AGGREGATE_COLUMNS:
+        if column not in AGGREGATE_COLUMNS:
             raise ValueError(f"cannot aggregate by column {column!r}")
         if limit <= 0:
             raise ValueError("limit must be positive")
-        info = self.round_info(round_id)
-        cursor = self._conn.execute(
-            f"SELECT {column}, COUNT(*) AS n FROM {info.table_name} "
-            f"WHERE {column} IS NOT NULL "
-            f"GROUP BY {column} ORDER BY n DESC, {column} LIMIT ?",
-            (limit,),
-        )
-        return [(str(row[0]), int(row[1])) for row in cursor.fetchall()]
+        with self._lock:
+            info = self.round_info(round_id)
+            if self._has_views and self._folded(round_id):
+                cursor = self._conn.execute(
+                    "SELECT value, n FROM view_cluster_agg "
+                    "WHERE round_id = ? AND column_name = ? "
+                    "ORDER BY n DESC, value LIMIT ?",
+                    (round_id, column, limit),
+                )
+                return [(str(row[0]), int(row[1])) for row in cursor]
+            cursor = self._conn.execute(
+                f"SELECT {column}, COUNT(*) AS n FROM {info.table_name} "
+                f"WHERE {column} IS NOT NULL "
+                f"GROUP BY {column} ORDER BY n DESC, {column} LIMIT ?",
+                (limit,),
+            )
+            return [(str(row[0]), int(row[1])) for row in cursor.fetchall()]
 
     def records(self, round_id: int) -> Iterator[RoundRecord]:
-        """All records of one round."""
         info = self.round_info(round_id)
         cursor = self._conn.execute(f"SELECT * FROM {info.table_name}")
         for row in cursor:
             yield RoundRecord.from_row(row)
 
     def record(self, round_id: int, ip: int) -> RoundRecord | None:
-        """One IP's record in one round, or None if unresponsive then."""
         info = self.round_info(round_id)
         cursor = self._conn.execute(
             f"SELECT * FROM {info.table_name} WHERE ip = ?", (ip,)
@@ -1201,8 +1244,6 @@ class MeasurementStore:
         return RoundRecord.from_row(row) if row else None
 
     def history(self, ip: int) -> list[RoundRecord]:
-        """The WhoWas lookup: the full status/content history of an IP,
-        in chronological order (absent rounds = unresponsive)."""
         history: list[RoundRecord] = []
         for info in self.rounds():
             cursor = self._conn.execute(
@@ -1213,16 +1254,86 @@ class MeasurementStore:
                 history.append(RoundRecord.from_row(row))
         return history
 
+    def ip_history_rows(self, ip: int) -> list[dict]:
+        """One clustered-index range scan over ``view_ip_history``
+        (finalized rounds only, chronological order) instead of a
+        per-round full-row lookup — the serving layer's hot path."""
+        with self._lock:
+            if self._has_views and self._all_finalized_folded():
+                columns = ", ".join(f"h.{n}" for n in IP_HISTORY_COLUMNS)
+                cursor = self._conn.execute(
+                    f"SELECT {columns} FROM view_ip_history h"
+                    " JOIN rounds r ON r.round_id = h.round_id"
+                    " WHERE h.ip = ? AND r.round_status != ?"
+                    " ORDER BY h.timestamp, h.round_id",
+                    (ip, ROUND_IN_PROGRESS),
+                )
+                return [
+                    dict(zip(IP_HISTORY_COLUMNS, row)) for row in cursor
+                ]
+            return super().ip_history_rows(ip)
+
     def responsive_ips(self, round_id: int) -> set[int]:
         info = self.round_info(round_id)
         cursor = self._conn.execute(f"SELECT ip FROM {info.table_name}")
         return {row[0] for row in cursor.fetchall()}
 
+    # ------------------------------------------------------------------
+    # read models
+
+    def rebuild_views(self) -> int:
+        """Drop and refold every read model from the base tables — the
+        ``repro rebuild-views`` escape hatch, and the migration path
+        for databases written before the views existed.  Covers open
+        rounds too (folding tracks writing, not finalization).  One
+        transaction: a crash mid-rebuild rolls back to the old views."""
+        with self._lock:
+            if self.readonly:
+                raise ValueError("store is read-only")
+            try:
+                for table in _VIEW_TABLES:
+                    self._conn.execute(f"DELETE FROM {table}")
+                rows = self._conn.execute(
+                    f"SELECT {self._ROUND_COLUMNS} FROM rounds "
+                    "ORDER BY timestamp, round_id"
+                ).fetchall()
+                refolded = 0
+                for row in rows:
+                    info = self._round_info(row)
+                    if not self._table_exists(info.table_name):
+                        continue
+                    self._refold_round(info)
+                    refolded += 1
+                self._commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+            return refolded
+
+    def _refold_round(self, info: RoundInfo) -> None:
+        table = info.table_name
+        self._conn.execute(
+            f"INSERT OR REPLACE INTO view_ip_history "
+            f"SELECT {_LIGHT_SELECT} FROM {table}"
+        )
+        counts = self._scan_counts(table)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO view_round_summary "
+            "VALUES (?, ?, ?, ?, ?)",
+            (info.round_id, counts["responsive"], counts["available"],
+             counts["fetched"], self._journal_quarantine(info.round_id)),
+        )
+        for column in sorted(AGGREGATE_COLUMNS):
+            self._conn.execute(
+                f"INSERT OR REPLACE INTO view_cluster_agg "
+                f"SELECT ?, ?, {column}, COUNT(*) FROM {table} "
+                f"WHERE {column} IS NOT NULL GROUP BY {column}",
+                (info.round_id, column),
+            )
+        self._note_view_fold()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
     def close(self) -> None:
         self._conn.close()
-
-    def __enter__(self) -> "MeasurementStore":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

@@ -27,8 +27,10 @@ The coordinator's :class:`WorkerSupervisor` owns the failure domain
 * **Checksum-verified merge** — completed journals are verified
   (every assigned shard present, every digest matching) and merged
   into the canonical store through the same idempotent
-  :meth:`~repro.core.store.MeasurementStore.write_shard` protocol, in
-  ascending shard order.  Stale journals left by a crashed coordinator
+  :meth:`~repro.core.store.StoreBackend.write_shard` protocol, in
+  ascending shard order (so the merge also folds the canonical
+  store's materialized read models, whichever engine backs it;
+  per-partition *journals* are always sqlite files).  Stale journals left by a crashed coordinator
   are salvaged the same way before partitioning, so coordinator death
   is exactly as recoverable as worker death.
 
@@ -57,7 +59,7 @@ from .config import PlatformConfig
 from .faults import ProcessChaosPlan, ProcFaultKind
 from .pipeline import ShardWork
 from .records import PipelineStats
-from .store import MeasurementStore, shard_checksum
+from .store import MeasurementStore, StoreBackend, shard_checksum
 from . import telemetry as _telemetry
 
 __all__ = [
@@ -283,7 +285,7 @@ class WorkerSupervisor:
 
     def __init__(
         self,
-        store: MeasurementStore,
+        store: StoreBackend,
         config: PlatformConfig,
         transport_factory: Callable,
         *,

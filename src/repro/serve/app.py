@@ -47,7 +47,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..core import telemetry as _telemetry
 from ..core.config import ServeConfig
-from ..core.store import MeasurementStore
+from ..core.store import StoreBackend, open_store
 from .queries import BadRequest, DeadlineExceeded, NotFound, QueryService
 from .resilience import (
     AdmissionController,
@@ -105,7 +105,7 @@ class ServeApp:
         db_path: str,
         config: ServeConfig | None = None,
         *,
-        store_factory: Callable[[], MeasurementStore] | None = None,
+        store_factory: Callable[[], StoreBackend] | None = None,
         fault: Callable[[str], None] | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
@@ -113,7 +113,7 @@ class ServeApp:
         self.config = config or ServeConfig()
         self._clock = clock
         factory = store_factory or (
-            lambda: MeasurementStore.open_readonly(db_path)
+            lambda: open_store(db_path, readonly=True)
         )
         self.pool = ReadPool(factory, self.config.readers)
         self.queries = QueryService(self.pool, fault=fault, clock=clock)

@@ -1,12 +1,18 @@
 """Read paths behind the serving layer.
 
-Each query leases one read-only :class:`~repro.core.store.
-MeasurementStore` from the bounded pool, runs the actual read in a
-worker thread with the request's **deadline budget propagated into
-sqlite** (:meth:`MeasurementStore.read_deadline` aborts statements at
+Each query leases one read-only :class:`~repro.core.store.StoreBackend`
+from the bounded pool, runs the actual read in a worker thread with the
+request's **deadline budget propagated into the store**
+(:meth:`StoreBackend.read_deadline` aborts sqlite statements at
 expiry), and maps every store-side failure onto a typed exception the
 HTTP layer can translate into a well-formed status — a sick store must
 produce fast ``503``\\ s, never hangs or stack traces.
+
+The hot endpoints read the store's **materialized read models**: the
+per-IP history comes from :meth:`StoreBackend.ip_history_rows` (light
+rows, no page bodies), and round summaries / cluster aggregates come
+from tables the writer folds incrementally — per-request GROUP-BY
+scans are gone.
 
 The optional *fault* hook is the chaos-harness injection point: it runs
 inside the read thread before the real store read, so tests can make
@@ -22,7 +28,7 @@ import time
 from typing import Callable
 
 from ..cloudsim.addressing import int_to_ip, ip_to_int
-from ..core.store import MeasurementStore, is_interrupted
+from ..core.store import AGGREGATE_COLUMNS, StoreBackend, is_interrupted
 from .resilience import PoolTimeout, ReadPool
 
 __all__ = [
@@ -129,7 +135,7 @@ class QueryService:
     async def rounds(self, deadline: float) -> dict:
         """Round summaries: every finalized round plus open ones."""
 
-        def fn(store: MeasurementStore):
+        def fn(store: StoreBackend):
             return {
                 "rounds": [
                     {
@@ -153,7 +159,7 @@ class QueryService:
     async def round_detail(self, raw_id: str, deadline: float) -> dict:
         round_id = _parse_round_id(raw_id)
 
-        def fn(store: MeasurementStore):
+        def fn(store: StoreBackend):
             try:
                 info = store.round_info(round_id)
             except KeyError:
@@ -170,7 +176,7 @@ class QueryService:
                 "responsive": stats["responsive"],
                 "available": stats["available"],
                 "fetched": stats["fetched"],
-                "quarantined": store.quarantine_count(round_id),
+                "quarantined": stats["quarantined"],
             }
 
         return await self._read("round", deadline, fn)
@@ -182,19 +188,21 @@ class QueryService:
         except (ValueError, OSError) as exc:
             raise BadRequest(f"bad IP address {raw_ip!r}: {exc}") from None
 
-        def fn(store: MeasurementStore):
+        def fn(store: StoreBackend):
             history = []
-            for record in store.history(ip):
-                features = record.features
+            for row in store.ip_history_rows(ip):
+                open_ports = row["open_ports"]
                 history.append({
-                    "round_id": record.round_id,
-                    "day": record.timestamp,
-                    "open_ports": sorted(record.probe.open_ports),
-                    "fetch_status": record.fetch.status.value,
-                    "status_code": record.fetch.status_code,
-                    "server": features.server if features else None,
-                    "title": features.title if features else None,
-                    "template": features.template if features else None,
+                    "round_id": row["round_id"],
+                    "day": row["timestamp"],
+                    "open_ports": [
+                        int(port) for port in open_ports.split(",") if port
+                    ],
+                    "fetch_status": row["fetch_status"],
+                    "status_code": row["status_code"],
+                    "server": row["server"],
+                    "title": row["title"],
+                    "template": row["template"],
                 })
             return {"ip": int_to_ip(ip), "observations": history}
 
@@ -205,13 +213,13 @@ class QueryService:
         limit: int = 20,
     ) -> dict:
         round_id = _parse_round_id(raw_id)
-        if column not in MeasurementStore.AGGREGATE_COLUMNS:
+        if column not in AGGREGATE_COLUMNS:
             raise BadRequest(f"cannot aggregate by {column!r}; pick one "
-                             f"of {sorted(MeasurementStore.AGGREGATE_COLUMNS)}")
+                             f"of {sorted(AGGREGATE_COLUMNS)}")
         if not 0 < limit <= 500:
             raise BadRequest("limit must be in 1..500")
 
-        def fn(store: MeasurementStore):
+        def fn(store: StoreBackend):
             try:
                 groups = store.aggregate_column(
                     round_id, column, limit=limit

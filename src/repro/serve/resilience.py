@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from typing import Callable
 
 from ..core.backoff import retry_after_seconds
@@ -93,7 +94,14 @@ class AdmissionController:
     ``queue_limit`` requests may wait at once, and never past their own
     deadline.  Everything else is shed immediately with a jittered
     ``Retry-After`` hint that grows with the consecutive-shed streak,
-    de-synchronising the retrying herd."""
+    de-synchronising the retrying herd.
+
+    The wait queue is **FIFO**: replenished tokens go to the oldest
+    waiter, and a newly-arrived request may only grab a token directly
+    while nobody is queued.  Without this, under sustained overload the
+    arrival flood steals every fresh token from the queue and an
+    admitted request's latency stretches to its full deadline budget —
+    with it, queue wait is bounded by ``queue_limit / rate``."""
 
     def __init__(
         self,
@@ -109,12 +117,12 @@ class AdmissionController:
         self._retry_base = retry_after_base
         self._retry_max = retry_after_max
         self._clock = clock
-        self._waiting = 0
+        self._queue: deque = deque()
         self._shed_streak = 0
 
     @property
     def waiting(self) -> int:
-        return self._waiting
+        return len(self._queue)
 
     def _shed(self) -> Admission:
         self._shed_streak += 1
@@ -128,14 +136,18 @@ class AdmissionController:
 
     async def admit(self, deadline: float) -> Admission:
         """Admit or shed one request; *deadline* bounds any waiting."""
-        if self._bucket.try_acquire():
+        if not self._queue and self._bucket.try_acquire():
             self._shed_streak = 0
             return Admission(True)
-        if self._waiting >= self._queue_limit:
+        if len(self._queue) >= self._queue_limit:
             return self._shed()
-        self._waiting += 1
+        me = object()
+        self._queue.append(me)
         try:
             while True:
+                if self._queue[0] is me and self._bucket.try_acquire():
+                    self._shed_streak = 0
+                    return Admission(True)
                 remaining = deadline - self._clock()
                 if remaining <= 0:
                     return self._shed()
@@ -143,11 +155,8 @@ class AdmissionController:
                     self._bucket.next_token_in(), remaining
                 ))
                 await asyncio.sleep(pause)
-                if self._bucket.try_acquire():
-                    self._shed_streak = 0
-                    return Admission(True)
         finally:
-            self._waiting -= 1
+            self._queue.remove(me)
 
 
 class BreakerState:

@@ -35,7 +35,7 @@ from repro.core.config import (
     ScanConfig,
 )
 from repro.core.records import ProbeStatus
-from repro.core.store import ROUND_COMPLETE, ROUND_IN_PROGRESS
+from repro.core.store import ROUND_COMPLETE, ROUND_IN_PROGRESS, open_store
 from repro.core.transport import ConnectionRefused
 from repro.workloads import Campaign, CampaignInterrupted, ec2_scenario
 from test_store import record
@@ -139,8 +139,9 @@ class DeadTransport:
 
 def db_snapshot(path: str):
     """Full content snapshot of a round database: round metadata plus
-    every record row, ordered, for byte-equivalence comparison."""
-    store = MeasurementStore(path)
+    every record row, ordered, for byte-equivalence comparison.  Opens
+    through the interface so snapshots compare across engines."""
+    store = open_store(path)
     rounds = [
         (i.round_id, i.timestamp, i.targets_probed, i.responsive_count,
          i.degraded, i.error_count, i.status)

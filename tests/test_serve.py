@@ -22,7 +22,7 @@ import pytest
 
 from repro.cli import main
 from repro.core.config import ServeConfig
-from repro.core.store import MeasurementStore
+from repro.core.store import open_store
 from repro.serve import (
     AdmissionController,
     BreakerState,
@@ -53,12 +53,11 @@ def responsive_ip(serve_db):
     """One IP with history in the database."""
     from repro.cloudsim.addressing import int_to_ip
 
-    store = MeasurementStore.open_readonly(serve_db)
-    table = store.round_info(1).table_name
-    row = store._conn.execute(f"SELECT ip FROM {table} LIMIT 1").fetchone()
+    store = open_store(serve_db, readonly=True)
+    ips = store.responsive_ips(1)
     store.close()
-    assert row is not None
-    return int_to_ip(row[0])
+    assert ips
+    return int_to_ip(min(ips))
 
 
 async def http_get(port: int, target: str, *, timeout: float = 10.0):
@@ -126,7 +125,7 @@ class TestEndpoints:
     def test_ip_history_matches_store(self, serve_db, responsive_ip):
         from repro.cloudsim.addressing import ip_to_int
 
-        store = MeasurementStore.open_readonly(serve_db)
+        store = open_store(serve_db, readonly=True)
         expected = store.history(ip_to_int(responsive_ip))
         store.close()
 
@@ -527,7 +526,7 @@ class TestResiliencePrimitives:
     def test_pool_bounds_concurrency(self, serve_db):
         async def scenario():
             pool = ReadPool(
-                lambda: MeasurementStore.open_readonly(serve_db), 2
+                lambda: open_store(serve_db, readonly=True), 2
             )
             await pool.start()
             first = await pool.acquire(1.0)

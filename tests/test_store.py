@@ -319,3 +319,52 @@ class TestReadDeadline:
         assert is_interrupted(sqlite3.OperationalError("interrupted"))
         assert not is_interrupted(sqlite3.OperationalError("locked"))
         assert not is_interrupted(ValueError("interrupted"))
+
+
+class TestConnectHelper:
+    """Pin the one connection-setup path both open modes now share
+    (writer constructor and read-only opens used to duplicate it)."""
+
+    def test_writer_connection_pragmas(self, tmp_path):
+        from repro.core.store.sqlite import _connect
+
+        conn = _connect(str(tmp_path / "w.sqlite"))
+        try:
+            assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+            assert conn.execute("PRAGMA synchronous").fetchone()[0] == 1
+            assert conn.execute("PRAGMA busy_timeout").fetchone()[0] == 5000
+            assert conn.execute("PRAGMA query_only").fetchone()[0] == 0
+            row = conn.execute("SELECT 1 AS one").fetchone()
+            assert row["one"] == 1          # Row factory installed
+        finally:
+            conn.close()
+
+    def test_readonly_connection_refuses_writes(self, tmp_path):
+        import sqlite3
+
+        from repro.core.store.sqlite import _connect
+
+        path = str(tmp_path / "r.sqlite")
+        _connect(path).close()              # create the file
+        conn = _connect(path, readonly=True)
+        try:
+            assert conn.execute("PRAGMA query_only").fetchone()[0] == 1
+            with pytest.raises(sqlite3.OperationalError):
+                conn.execute("CREATE TABLE t (x)")
+        finally:
+            conn.close()
+
+    def test_readonly_memory_rejected(self):
+        from repro.core.store.sqlite import _connect
+
+        with pytest.raises(ValueError, match="in-memory"):
+            _connect(":memory:", readonly=True)
+
+    def test_busy_timeout_is_configurable(self, tmp_path):
+        from repro.core.store.sqlite import _connect
+
+        conn = _connect(str(tmp_path / "t.sqlite"), busy_timeout_ms=123)
+        try:
+            assert conn.execute("PRAGMA busy_timeout").fetchone()[0] == 123
+        finally:
+            conn.close()
